@@ -1,0 +1,78 @@
+"""Lipschitz estimation quality and its effect on Proposition 3.
+
+Compares the global operator-norm product bound against the local
+interval-Jacobian (Fast-Lip style) bound on the vehicle head and random
+networks: tightness vs an empirical lower witness, computation time, and --
+the quantity that matters for continuous verification -- the maximum domain
+enlargement each certificate lets Proposition 3 absorb (``(slack in Dout) /
+ℓ`` per dimension).
+"""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.lipschitz import (
+    empirical_lipschitz,
+    global_lipschitz_bound,
+    local_lipschitz_bound,
+)
+from repro.nn import random_relu_network
+
+
+@pytest.fixture(scope="module")
+def nets():
+    return [random_relu_network([6, 16, 12, 1], seed=s, weight_scale=0.6)
+            for s in range(4)]
+
+
+def test_certificates_dominate_empirical(nets, rng=np.random.default_rng(0)):
+    box = Box(np.zeros(6), np.ones(6))
+    for net in nets:
+        emp = empirical_lipschitz(net, box.sample(150, rng))
+        assert emp <= global_lipschitz_bound(net) + 1e-9
+        assert emp <= local_lipschitz_bound(net, box) + 1e-9
+
+
+def test_local_tightens_on_small_boxes(nets):
+    """Shrinking the box stabilises neurons: the local bound improves
+    monotonically (in practice) while the global bound cannot."""
+    for net in nets:
+        big = local_lipschitz_bound(net, Box(np.zeros(6), np.ones(6)))
+        small = local_lipschitz_bound(net, Box(0.45 * np.ones(6),
+                                               0.55 * np.ones(6)))
+        assert small <= big + 1e-9
+
+
+def test_report_lipschitz(vehicle_bundle, capsys, rng=np.random.default_rng(1)):
+    head = vehicle_bundle.nets[0]
+    din = vehicle_bundle.din
+    glob = global_lipschitz_bound(head)
+    local = local_lipschitz_bound(head, din)
+    emp = empirical_lipschitz(head, din.sample(150, rng))
+    # Prop-3 absorbable enlargement: Dout slack / ell (per dimension,
+    # using the tightest stored output abstraction).
+    artifacts = vehicle_bundle.baselines[0].artifacts
+    slack = float(np.min(np.minimum(
+        artifacts.tightest_output_abstraction().lower - vehicle_bundle.dout.lower,
+        vehicle_bundle.dout.upper - artifacts.tightest_output_abstraction().upper,
+    )))
+    with capsys.disabled():
+        print("\nLipschitz certificates (vehicle head)")
+        print(f"  empirical witness : {emp:10.4g}")
+        print(f"  local (fastlip)   : {local:10.4g}")
+        print(f"  global (product)  : {glob:10.4g}")
+        print(f"  Dout slack        : {slack:10.4g}")
+        print(f"  Prop-3 absorbable kappa: global {slack / glob:.3e}, "
+              f"local {slack / local:.3e}")
+    assert emp <= min(local, glob) + 1e-9
+    assert slack > 0
+
+
+def test_benchmark_global_bound(vehicle_bundle, benchmark):
+    benchmark(lambda: global_lipschitz_bound(vehicle_bundle.nets[0]))
+
+
+def test_benchmark_local_bound(vehicle_bundle, benchmark):
+    benchmark(lambda: local_lipschitz_bound(vehicle_bundle.nets[0],
+                                            vehicle_bundle.din))

@@ -1,0 +1,88 @@
+"""Proposition 6: network-abstraction reuse on the vehicle head.
+
+Measures the three costs of the abstraction route -- building ``f̂``,
+verifying safety *of* ``f̂``, and the syntactic ``f' -> f̂`` transfer check
+(the only thing SVbTV pays per tuning step) -- plus the precision/size
+trade-off of the merge granularity, and how much fine-tuning the stored
+margin absorbs before the transfer check starts rejecting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netabs import build_abstraction
+
+
+@pytest.fixture(scope="module")
+def abstraction(vehicle_bundle):
+    return build_abstraction(vehicle_bundle.nets[0], vehicle_bundle.din,
+                             num_groups=4, margin=0.02)
+
+
+def test_abstraction_sound_on_tuned_versions(vehicle_bundle, abstraction):
+    """Whenever the transfer check accepts a tuned version, the abstract
+    networks really do sandwich it."""
+    rng = np.random.default_rng(0)
+    xs = vehicle_bundle.din.sample(400, rng)
+    accepted = 0
+    for net in vehicle_bundle.nets[1:]:
+        if not abstraction.abstracts(net).holds:
+            continue
+        accepted += 1
+        y = net.forward(xs).reshape(-1)
+        assert np.all(abstraction.upper.forward(xs).reshape(-1) >= y - 1e-9)
+        assert np.all(abstraction.lower.forward(xs).reshape(-1) <= y + 1e-9)
+    assert accepted >= 1
+
+
+def test_report_group_sweep(vehicle_bundle, capsys):
+    """Merged size vs abstract output-bound width per granularity."""
+    head = vehicle_bundle.nets[0]
+    lines = ["\nNetwork abstraction granularity (vehicle head)",
+             f"  {'groups':>6} | {'neurons':>7} | {'bound width':>11}"]
+    widths = []
+    for groups in (1, 2, 4, 8):
+        absn = build_abstraction(head, vehicle_bundle.din, num_groups=groups)
+        bounds = absn.output_bounds(vehicle_bundle.din)
+        size = absn.abstraction_sizes()["merged"]
+        widths.append(float(bounds.widths[0]))
+        lines.append(f"  {groups:>6} | {size:>7} | {bounds.widths[0]:>11.4g}")
+    with capsys.disabled():
+        print("\n".join(lines))
+    assert widths == sorted(widths, reverse=True)  # finer = tighter
+
+
+def test_report_margin_frontier(vehicle_bundle, capsys):
+    """How far fine-tuning can drift before the Prop-6 check rejects."""
+    head = vehicle_bundle.nets[0]
+    lines = ["\nProposition-6 transfer vs tuning magnitude (margin=0.02)",
+             "  perturbation  accepted"]
+    absn = build_abstraction(head, vehicle_bundle.din, num_groups=4,
+                             margin=0.02)
+    accepted_small = None
+    for scale in (1e-4, 1e-3, 5e-3, 2e-2, 1e-1):
+        tuned = head.perturb(scale, np.random.default_rng(7))
+        ok = absn.abstracts(tuned).holds
+        if accepted_small is None:
+            accepted_small = ok
+        lines.append(f"  {scale:>11.0e}  {'yes' if ok else 'no'}")
+    with capsys.disabled():
+        print("\n".join(lines))
+    assert accepted_small  # tiny tunes must transfer
+
+
+def test_benchmark_build(vehicle_bundle, benchmark):
+    benchmark.pedantic(
+        lambda: build_abstraction(vehicle_bundle.nets[0], vehicle_bundle.din,
+                                  num_groups=4, margin=0.02),
+        rounds=3, iterations=1)
+
+
+def test_benchmark_transfer_check(vehicle_bundle, abstraction, benchmark):
+    tuned = vehicle_bundle.nets[1]
+    benchmark(lambda: abstraction.abstracts(tuned))
+
+
+def test_benchmark_abstract_output_bounds(vehicle_bundle, abstraction,
+                                          benchmark):
+    benchmark(lambda: abstraction.output_bounds(vehicle_bundle.din))

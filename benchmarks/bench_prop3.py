@@ -1,0 +1,87 @@
+"""Proposition 3's worked example plus a kappa sweep on the vehicle head.
+
+Paper example: ``Din = [1,2]^2``, enlargement ring of 0.01 per side
+(``κ = 0.02`` after rounding up), ``ℓ = 100``, ``S_n = [1, 8]``,
+``Dout = [-10, 10]``.  Inflating ``S_n`` by ``ℓκ = 2`` gives ``[-1, 10]``
+which fits inside ``Dout`` -- safety transfers without touching a solver.
+
+The sweep measures, on the trained vehicle head, how large an enlargement
+Proposition 3 tolerates before the Lipschitz-inflated output abstraction
+escapes ``Dout`` (its applicability frontier), and benchmarks the check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LipschitzCertificate,
+    ProofArtifacts,
+    StateAbstractions,
+    VerificationProblem,
+    check_prop3,
+)
+from repro.domains import Box
+from repro.nn import random_relu_network
+
+
+@pytest.fixture(scope="module")
+def paper_artifacts():
+    net = random_relu_network([2, 3, 1], seed=0)  # function body irrelevant
+    problem = VerificationProblem(
+        net, Box(np.ones(2), 2 * np.ones(2)),
+        Box(np.array([-10.0]), np.array([10.0])))
+    return ProofArtifacts(
+        problem=problem,
+        states=StateAbstractions(
+            boxes=[Box(np.zeros(3), np.ones(3)),
+                   Box(np.array([1.0]), np.array([8.0]))]),
+        lipschitz=LipschitzCertificate(ell=100.0),
+    )
+
+
+def test_paper_worked_example_holds(paper_artifacts):
+    # paper rounds kappa up to 0.02; any ring with true kappa <= 0.02 works
+    ring = 0.02 / np.sqrt(2)
+    enlarged = paper_artifacts.problem.din.inflate(ring)
+    res = check_prop3(paper_artifacts, enlarged)
+    assert res.holds is True
+    assert "ell=100" in res.detail
+
+
+def test_paper_example_inflated_set(paper_artifacts):
+    """The inflated S_n is exactly [-1, 10] as computed in the paper."""
+    ell_kappa = 100.0 * 0.02
+    inflated = paper_artifacts.states.output_abstraction.inflate(ell_kappa)
+    np.testing.assert_allclose(inflated.lower, [-1.0])
+    np.testing.assert_allclose(inflated.upper, [10.0])
+
+
+def test_larger_enlargement_fails(paper_artifacts):
+    enlarged = paper_artifacts.problem.din.inflate(0.1)
+    assert check_prop3(paper_artifacts, enlarged).holds is False
+
+
+def test_benchmark_prop3_check(paper_artifacts, benchmark):
+    enlarged = paper_artifacts.problem.din.inflate(0.01)
+    benchmark(lambda: check_prop3(paper_artifacts, enlarged))
+
+
+def test_report_prop3_frontier(vehicle_bundle, capsys):
+    """Applicability frontier of Prop 3 on the trained vehicle head."""
+    artifacts = vehicle_bundle.baselines[0].artifacts
+    lines = ["\nProposition 3 applicability (vehicle head)",
+             f"  certified Lipschitz ell = {artifacts.lipschitz.ell:.4g}",
+             "  enlargement  kappa      verdict"]
+    frontier = None
+    for ring in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1):
+        enlarged = vehicle_bundle.din.inflate(ring)
+        res = check_prop3(artifacts, enlarged)
+        kappa = float(np.sqrt(vehicle_bundle.din.dim) * ring)
+        lines.append(f"  {ring:>10.0e}  {kappa:.4g}  "
+                     f"{'holds' if res.holds else 'fails'}")
+        if res.holds:
+            frontier = ring
+    with capsys.disabled():
+        print("\n".join(lines))
+    # The check must accept at least the smallest enlargement.
+    assert frontier is not None

@@ -1,0 +1,21 @@
+"""Session-scoped fixtures shared by the benchmark modules."""
+
+import pytest
+
+from benchmarks.common import build_vehicle_bundle
+
+
+def pytest_configure(config):
+    # The benchmarks directory is importable as a package for common.py.
+    import sys
+    from pathlib import Path
+
+    root = str(Path(__file__).resolve().parent.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+
+
+@pytest.fixture(scope="session")
+def vehicle_bundle():
+    """The full Section V workload (built once; about a minute)."""
+    return build_vehicle_bundle()

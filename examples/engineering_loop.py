@@ -1,0 +1,62 @@
+"""A multi-round continuous-engineering session with automatic artifacts.
+
+Where the other examples settle one change at a time, this one drives the
+:class:`~repro.core.loop.EngineeringLoop` through an alternating sequence
+of monitor enlargements and fine-tuning steps -- the paper's "realistic
+expectation to encounter multiple domain enlargement and fine-tuning
+activities" -- letting the loop decide when proof reuse suffices and when
+the artifacts must be refreshed from scratch.
+
+Run:  python examples/engineering_loop.py
+"""
+
+import numpy as np
+
+from repro.core import EngineeringLoop, VerificationProblem
+from repro.domains import Box
+from repro.domains.propagate import inductive_states
+from repro.nn import TrainConfig, fine_tune, random_relu_network, train
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    net = random_relu_network([5, 16, 12, 1], seed=3, weight_scale=0.6)
+    x = rng.uniform(size=(300, 5))
+    y = (np.cos(2 * x[:, 0]) * x[:, 1] + 0.3 * x[:, 2])[:, None]
+    train(net, x, y, TrainConfig(epochs=40, learning_rate=3e-3,
+                                 optimizer="adam"))
+
+    din = Box(np.zeros(5), np.ones(5))
+    sn = inductive_states(net, din, 0.03)[-1]
+    dout = sn.inflate(0.4 * float(sn.widths.max()) + 0.2)
+    loop = EngineeringLoop(VerificationProblem(net, din, dout),
+                           state_buffer=0.03, rigor="abstract")
+
+    print("initial verification ...")
+    step = loop.initial_verification()
+    print(f"  {step.strategy}: safe={step.holds} in {step.elapsed:.3f}s")
+
+    print("\nsimulating six engineering events:")
+    for round_id in range(3):
+        # A. the monitor reports slightly out-of-distribution inputs.
+        enlarged = loop.problem.din.inflate(0.004)
+        step = loop.on_domain_enlarged(enlarged)
+        print(f"  round {round_id}: domain enlargement -> {step.strategy} "
+              f"({'safe' if step.holds else 'NOT PROVED'})")
+
+        # B. the team fine-tunes on fresh (jittered) data.
+        xs = loop.problem.din.sample(150, rng)
+        ys = loop.problem.network.forward(xs)
+        tuned = fine_tune(loop.problem.network, xs,
+                          ys + rng.normal(0, 0.005, size=ys.shape),
+                          learning_rate=5e-4, epochs=1, seed=round_id)
+        step = loop.on_new_version(tuned)
+        print(f"  round {round_id}: fine-tuned version  -> {step.strategy} "
+              f"({'safe' if step.holds else 'NOT PROVED'})")
+
+    print()
+    print(loop.summary())
+
+
+if __name__ == "__main__":
+    main()

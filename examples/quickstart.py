@@ -1,0 +1,68 @@
+"""Quickstart: verify a network once, then reuse the proof twice.
+
+Demonstrates the library's core loop in under a minute:
+
+1. build and verify a small ReLU network (``verify_from_scratch`` produces
+   the reusable proof artifacts);
+2. the input domain grows (as if a runtime monitor reported new inputs) --
+   settle the SVuDC problem by proof reuse;
+3. the network is fine-tuned -- settle the SVbTV problem by proof reuse.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ContinuousVerifier,
+    SVbTV,
+    SVuDC,
+    VerificationProblem,
+    format_continuous_result,
+    verify_from_scratch,
+)
+from repro.domains import Box
+from repro.domains.propagate import inductive_states
+from repro.nn import TrainConfig, fine_tune, random_relu_network, train
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # A 4-16-12-1 ReLU regressor trained on a toy task.
+    net = random_relu_network([4, 16, 12, 1], seed=0)
+    x = rng.uniform(size=(300, 4))
+    y = (np.sin(3 * x[:, 0]) + x[:, 1] * x[:, 2])[:, None]
+    train(net, x, y, TrainConfig(epochs=40, learning_rate=3e-3,
+                                 optimizer="adam"))
+
+    # The safety property: outputs stay in a band wide enough for the
+    # layered abstraction to close (how one picks provable properties).
+    din = Box(np.zeros(4), np.ones(4))
+    sn = inductive_states(net, din, buffer_rel=0.03)[-1]
+    dout = sn.inflate(0.25 * float(sn.widths.max()) + 0.1)
+    problem = VerificationProblem(net, din, dout)
+
+    print("== original verification (from scratch) ==")
+    baseline = verify_from_scratch(problem, state_buffer=0.03)
+    print(f"safe: {baseline.holds}   time: {baseline.elapsed:.3f}s   "
+          f"artifacts: states={baseline.artifacts.states is not None}, "
+          f"lipschitz={baseline.artifacts.lipschitz.ell:.3g}")
+
+    verifier = ContinuousVerifier(baseline.artifacts)
+
+    print("\n== SVuDC: the input domain grew ==")
+    enlarged = din.inflate(0.02)
+    result = verifier.verify_domain_change(SVuDC(problem, enlarged))
+    print(format_continuous_result(result, baseline.elapsed))
+
+    print("\n== SVbTV: the network was fine-tuned ==")
+    tuned = fine_tune(net, x, y + rng.normal(0, 0.01, size=y.shape),
+                      learning_rate=1e-3, epochs=1)
+    print(f"max weight delta: {net.max_weight_delta(tuned):.2e}")
+    result = verifier.verify_new_version(SVbTV(problem, tuned))
+    print(format_continuous_result(result, baseline.elapsed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: continuous safety verification of neural networks.
+
+A from-scratch reproduction of *"Continuous Safety Verification of Neural
+Networks"* (Cheng & Yan, DATE 2021): the SVuDC / SVbTV problem statements,
+proof-artifact reuse via Propositions 1-6, incremental abstraction fixing,
+and every substrate the evaluation depends on (abstract domains, exact
+MILP/branch-and-bound verification, Lipschitz estimation, network
+abstraction, runtime monitoring, and a synthetic 1/10-scale vehicle
+platform).
+
+Quick start::
+
+    import numpy as np
+    from repro.nn import random_relu_network
+    from repro.domains import Box
+    from repro.core import (VerificationProblem, SVuDC, verify_from_scratch,
+                            ContinuousVerifier)
+
+    net = random_relu_network([4, 16, 16, 2], seed=0)
+    problem = VerificationProblem(net, din=Box(-np.ones(4), np.ones(4)),
+                                  dout=Box(-50 * np.ones(2), 50 * np.ones(2)))
+    baseline = verify_from_scratch(problem)          # proof + artifacts
+    enlarged = problem.din.inflate(0.05)             # monitor found new inputs
+    verifier = ContinuousVerifier(baseline.artifacts)
+    result = verifier.verify_domain_change(SVuDC(problem, enlarged))
+    assert result.holds
+"""
+
+from repro import core, domains, exact, lipschitz, monitor, netabs, nn, vehicle
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "core",
+    "domains",
+    "exact",
+    "lipschitz",
+    "monitor",
+    "netabs",
+    "nn",
+    "vehicle",
+    "__version__",
+]

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small demonstrations runnable without writing any code:
+
+* ``fig2``     -- replay the paper's Fig. 2 / Equation 2 worked example;
+* ``prop3``    -- replay the Proposition 3 worked example;
+* ``vehicle``  -- a quick version of the Section V pipeline (train, verify,
+  drift, SVuDC, fine-tune, SVbTV) with a Table-I style summary;
+* ``verify``   -- verify a serialized network (``.npz``) on a box domain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous safety verification of neural networks "
+                    "(DATE 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="paper Fig. 2 / Equation 2 worked example")
+    sub.add_parser("prop3", help="paper Proposition 3 worked example")
+
+    vehicle = sub.add_parser("vehicle", help="quick Section V pipeline")
+    vehicle.add_argument("--frame-size", type=int, default=24)
+    vehicle.add_argument("--samples", type=int, default=200)
+    vehicle.add_argument("--epochs", type=int, default=50)
+
+    verify = sub.add_parser("verify", help="verify a saved network on a box")
+    verify.add_argument("network", help="path to a network .npz "
+                                        "(see repro.nn.save_network)")
+    verify.add_argument("--din", type=float, nargs=2, default=(0.0, 1.0),
+                        metavar=("LOW", "HIGH"),
+                        help="uniform input box bounds (default [0, 1])")
+    verify.add_argument("--dout", type=float, nargs=2, default=None,
+                        metavar=("LOW", "HIGH"),
+                        help="uniform safe output bounds (default: auto "
+                             "from the layered abstraction + 25%% slack)")
+    verify.add_argument("--artifacts", default=None,
+                        help="where to save the proof artifacts (.npz)")
+    return parser
+
+
+def _cmd_fig2() -> int:
+    from repro.domains import Box, propagate_network
+    from repro.exact import maximize_output
+    from repro.nn import fig2_network
+
+    net = fig2_network()
+    original = Box(-np.ones(2), np.ones(2))
+    enlarged = Box(-np.ones(2), np.array([1.1, 1.1]))
+    print("box n4 bound on [-1,1]^2  :",
+          propagate_network(net, original, "box")[-1])
+    print("box n4 bound on [-1,1.1]^2:",
+          propagate_network(net, enlarged, "box")[-1])
+    res = maximize_output(net, enlarged, np.array([1.0]))
+    print(f"exact max n4 = {res.upper_bound:.4g}  (paper: 6.2 < 12 "
+          "=> Proposition 1 reuses the old proof)")
+    return 0
+
+
+def _cmd_prop3() -> int:
+    from repro.core import (LipschitzCertificate, ProofArtifacts,
+                            StateAbstractions, VerificationProblem, check_prop3)
+    from repro.domains import Box
+    from repro.nn import random_relu_network
+
+    net = random_relu_network([2, 3, 1], seed=0)
+    problem = VerificationProblem(
+        net, Box(np.ones(2), 2 * np.ones(2)),
+        Box(np.array([-10.0]), np.array([10.0])))
+    artifacts = ProofArtifacts(
+        problem=problem,
+        states=StateAbstractions(boxes=[Box(np.zeros(3), np.ones(3)),
+                                        Box(np.array([1.0]), np.array([8.0]))]),
+        lipschitz=LipschitzCertificate(ell=100.0))
+    enlarged = problem.din.inflate(0.01414)
+    res = check_prop3(artifacts, enlarged)
+    print(f"Din=[1,2]^2, ell=100, Sn=[1,8], Dout=[-10,10]")
+    print(f"enlarged by ~0.014 per side -> {res.detail}")
+    print(f"Proposition 3 verdict: {res.holds}  (paper: holds, "
+          "inflated set [-1,10] fits in [-10,10])")
+    return 0
+
+
+def _cmd_vehicle(args) -> int:
+    from repro.core import (ContinuousVerifier, SVbTV, SVuDC, Table1Row,
+                            VerificationProblem, format_table1,
+                            verify_from_scratch)
+    from repro.domains.propagate import inductive_states
+    from repro.monitor import BoxMonitor
+    from repro.nn import TrainConfig, fine_tune, train
+    from repro.vehicle import (Camera, DriveConfig, Perception,
+                               PerceptionConfig, ScenarioConfig, Track,
+                               VehiclePlatform, feature_dataset,
+                               generate_dataset)
+
+    track = Track()
+    camera = Camera(frame_size=args.frame_size)
+    perception = Perception.build(
+        PerceptionConfig(frame_size=args.frame_size, hidden_dims=(12, 8)))
+    print("training the waypoint head ...")
+    data = generate_dataset(track, camera, args.samples, ScenarioConfig(seed=0))
+    x, y = feature_dataset(perception.extractor, data)
+    train(perception.head, x, y,
+          TrainConfig(epochs=args.epochs, learning_rate=3e-3,
+                      optimizer="adam"))
+
+    monitor = BoxMonitor(buffer=0.04, lower_floor=0.0)
+    din = monitor.calibrate(x)
+    sn = inductive_states(perception.head, din, 0.05)[-1]
+    dout = sn.inflate(0.25 * float(sn.widths.max()) + 0.05)
+    problem = VerificationProblem(perception.head, din, dout)
+    print("verifying from scratch ...")
+    baseline = verify_from_scratch(problem, state_buffer=0.05)
+    print(f"  safe={baseline.holds} in {baseline.elapsed:.2f}s")
+
+    VehiclePlatform(track, camera, perception).drive(
+        DriveConfig(steps=40, brightness=1.8, disturbance_std=0.8),
+        monitor=monitor)
+    verifier = ContinuousVerifier(baseline.artifacts)
+    svudc = verifier.verify_domain_change(
+        SVuDC(problem, monitor.enlarged_box()))
+    tuned = fine_tune(perception.head, x, y, learning_rate=1e-3, epochs=1)
+    svbtv = verifier.verify_new_version(SVbTV(problem, tuned),
+                                        strategies=("prop4", "prop5"))
+    print(f"SVuDC: {svudc.holds} via {svudc.strategy}; "
+          f"SVbTV: {svbtv.holds} via {svbtv.strategy}")
+    print(format_table1([Table1Row(
+        1, svudc.speedup_vs(baseline.elapsed),
+        svbtv.speedup_vs(baseline.elapsed))]))
+    return 0 if (svudc.holds and svbtv.holds) else 1
+
+
+def _cmd_verify(args) -> int:
+    from repro.core import (VerificationProblem, save_artifacts,
+                            verify_from_scratch)
+    from repro.domains import Box
+    from repro.domains.propagate import inductive_states
+    from repro.nn import load_network
+
+    network = load_network(args.network)
+    lo, hi = args.din
+    din = Box(np.full(network.input_dim, lo), np.full(network.input_dim, hi))
+    if args.dout is not None:
+        dlo, dhi = args.dout
+        dout = Box(np.full(network.output_dim, dlo),
+                   np.full(network.output_dim, dhi))
+    else:
+        sn = inductive_states(network, din, 0.03)[-1]
+        dout = sn.inflate(0.25 * float(sn.widths.max()) + 1e-6)
+        print(f"auto Dout: {dout}")
+    problem = VerificationProblem(network, din, dout)
+    outcome = verify_from_scratch(problem, state_buffer=0.03)
+    verdict = {True: "SAFE", False: "UNSAFE", None: "UNKNOWN"}[outcome.holds]
+    print(f"{verdict} in {outcome.elapsed:.3f}s  ({outcome.detail})")
+    if args.artifacts:
+        save_artifacts(outcome.artifacts, args.artifacts)
+        print(f"artifacts saved to {args.artifacts}")
+    return 0 if outcome.holds else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig2":
+        return _cmd_fig2()
+    if args.command == "prop3":
+        return _cmd_prop3()
+    if args.command == "vehicle":
+        return _cmd_vehicle(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

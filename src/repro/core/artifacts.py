@@ -1,0 +1,237 @@
+"""Proof artifacts: what the old verification run leaves behind for reuse.
+
+Section IV of the paper assumes the original proof of ``φ^f_{Din,Dout}`` is
+stored in one or more of three forms, each with its defining properties:
+
+* :class:`StateAbstractions` ``S_1 … S_n`` -- per-block boxes with
+  (i) ``∀x ∈ Din : g_1(x) ∈ S_1``,
+  (ii) ``∀i, ∀x_i ∈ S_i : g_{i+1}(x_i) ∈ S_{i+1}``, and
+  (iii) ``S_n ⊆ Dout``;
+* :class:`LipschitzCertificate` -- an ``ℓ`` with
+  ``|f(x1) − f(x2)| ≤ ℓ|x1 − x2|`` on all of ``X`` (Equation 1);
+* a :class:`~repro.netabs.abstraction.NetworkAbstraction` ``f̂`` with
+  ``f --Din--> f̂`` whose own verification established
+  ``{f̂(x) : x ∈ Din} ⊆ Dout``.
+
+:class:`ProofArtifacts` bundles whichever are available together with the
+original problem and the time the original verification took (the
+denominator of every Table I ratio).  Artifacts can be persisted to a
+single ``.npz`` and reloaded in a later engineering iteration.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ArtifactError
+from repro.domains.box import Box
+from repro.nn.network import Network
+from repro.nn.serialize import network_from_bytes, network_to_bytes
+from repro.core.problem import VerificationProblem
+
+__all__ = ["StateAbstractions", "LipschitzCertificate", "ProofArtifacts",
+           "save_artifacts", "load_artifacts"]
+
+
+@dataclass
+class StateAbstractions:
+    """The layered state abstraction ``S_1 … S_n`` (boxes, per paper Sec. V)."""
+
+    boxes: List[Box]
+    domain: str = "symbolic"
+
+    def __post_init__(self):
+        if not self.boxes:
+            raise ArtifactError("state abstractions need at least one layer")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.boxes)
+
+    def layer(self, i: int) -> Box:
+        """``S_{i+1}`` (zero-based index ``i``)."""
+        return self.boxes[i]
+
+    @property
+    def output_abstraction(self) -> Box:
+        """``S_n``."""
+        return self.boxes[-1]
+
+    def matches(self, network: Network) -> bool:
+        """Do the box dimensions line up with the network's blocks?"""
+        dims = network.block_dims()[1:]
+        return (len(self.boxes) == len(dims)
+                and all(b.dim == d for b, d in zip(self.boxes, dims)))
+
+
+@dataclass
+class LipschitzCertificate:
+    """A certified global Lipschitz constant (Equation 1)."""
+
+    ell: float
+    ord: float = 2
+    method: str = "operator-norm-product"
+
+    def __post_init__(self):
+        if not np.isfinite(self.ell) or self.ell < 0:
+            raise ArtifactError(f"invalid Lipschitz constant {self.ell}")
+
+    def output_change_bound(self, kappa: float) -> float:
+        """``ℓκ``: worst-case output movement for input movement ``κ``."""
+        if kappa < 0:
+            raise ArtifactError(f"kappa must be non-negative, got {kappa}")
+        return self.ell * kappa
+
+
+@dataclass
+class ProofArtifacts:
+    """Everything reusable from the previous verification run."""
+
+    problem: VerificationProblem
+    states: Optional[StateAbstractions] = None
+    lipschitz: Optional[LipschitzCertificate] = None
+    network_abstraction: Optional["NetworkAbstraction"] = None  # noqa: F821
+    #: Exact certified output range over Din (tighter than ``S_n``); a valid
+    #: output abstraction for Proposition 3 but *not* part of the layered
+    #: inductive chain.
+    output_range: Optional[Box] = None
+    #: Did the stored proof actually establish ``S_n ⊆ Dout``?  Propositions
+    #: 1/2 rely on it; the baseline verifier sets it when the layered proof
+    #: closed.
+    states_prove_safety: bool = False
+    #: Wall-clock seconds of the original from-scratch verification.
+    original_time: float = float("nan")
+    notes: dict = field(default_factory=dict)
+
+    def require_states(self) -> StateAbstractions:
+        if self.states is None:
+            raise ArtifactError("state-abstraction artifact not available")
+        if not self.states.matches(self.problem.network):
+            raise ArtifactError("state abstractions do not match the network")
+        return self.states
+
+    def require_lipschitz(self) -> LipschitzCertificate:
+        if self.lipschitz is None:
+            raise ArtifactError("Lipschitz artifact not available")
+        return self.lipschitz
+
+    def tightest_output_abstraction(self) -> Box:
+        """Smallest stored box guaranteed to contain ``f(Din)``."""
+        if self.output_range is not None and self.states is not None:
+            meet = self.output_range.intersection(self.states.output_abstraction)
+            if meet is not None:
+                return meet
+        if self.output_range is not None:
+            return self.output_range
+        return self.require_states().output_abstraction
+
+    def require_network_abstraction(self):
+        if self.network_abstraction is None:
+            raise ArtifactError("network-abstraction artifact not available")
+        return self.network_abstraction
+
+
+# ----------------------------------------------------------------- persistence
+def save_artifacts(artifacts: ProofArtifacts, path: Union[str, Path]) -> None:
+    """Persist artifacts to one ``.npz`` file.
+
+    The network abstraction is stored as its *build recipe* (groups, margin)
+    plus the original network; it is rebuilt deterministically on load.
+    """
+    meta = {
+        "states_prove_safety": artifacts.states_prove_safety,
+        "original_time": artifacts.original_time,
+        "notes": artifacts.notes,
+        "has_states": artifacts.states is not None,
+        "has_lipschitz": artifacts.lipschitz is not None,
+        "has_netabs": artifacts.network_abstraction is not None,
+        "has_output_range": artifacts.output_range is not None,
+    }
+    payload = {
+        "network": np.frombuffer(network_to_bytes(artifacts.problem.network),
+                                 dtype=np.uint8),
+        "din_lower": artifacts.problem.din.lower,
+        "din_upper": artifacts.problem.din.upper,
+        "dout_lower": artifacts.problem.dout.lower,
+        "dout_upper": artifacts.problem.dout.upper,
+    }
+    if artifacts.states is not None:
+        meta["states_domain"] = artifacts.states.domain
+        meta["states_layers"] = artifacts.states.num_layers
+        for i, box in enumerate(artifacts.states.boxes):
+            payload[f"state{i}_lower"] = box.lower
+            payload[f"state{i}_upper"] = box.upper
+    if artifacts.lipschitz is not None:
+        meta["lipschitz"] = {
+            "ell": artifacts.lipschitz.ell,
+            "ord": float(artifacts.lipschitz.ord),
+            "method": artifacts.lipschitz.method,
+        }
+    if artifacts.network_abstraction is not None:
+        absn = artifacts.network_abstraction
+        meta["netabs"] = {
+            "num_groups": int(absn.num_groups),
+            "margin": float(absn.margin),
+        }
+    if artifacts.output_range is not None:
+        payload["range_lower"] = artifacts.output_range.lower
+        payload["range_upper"] = artifacts.output_range.upper
+    payload["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"),
+                                        dtype=np.uint8)
+    np.savez(str(path), **payload)
+
+
+def load_artifacts(path: Union[str, Path]) -> ProofArtifacts:
+    """Inverse of :func:`save_artifacts`."""
+    with np.load(str(path)) as data:
+        try:
+            meta = json.loads(bytes(data["__meta__"].tobytes()).decode("utf-8"))
+        except Exception as exc:
+            raise ArtifactError(f"corrupt artifact file: {exc}") from exc
+        network = network_from_bytes(bytes(data["network"].tobytes()))
+        problem = VerificationProblem(
+            network=network,
+            din=Box(data["din_lower"], data["din_upper"]),
+            dout=Box(data["dout_lower"], data["dout_upper"]),
+        )
+        states = None
+        if meta["has_states"]:
+            boxes = [
+                Box(data[f"state{i}_lower"], data[f"state{i}_upper"])
+                for i in range(int(meta["states_layers"]))
+            ]
+            states = StateAbstractions(boxes=boxes, domain=meta["states_domain"])
+        lipschitz = None
+        if meta["has_lipschitz"]:
+            lip = meta["lipschitz"]
+            lipschitz = LipschitzCertificate(
+                ell=float(lip["ell"]), ord=float(lip["ord"]), method=lip["method"])
+        netabs = None
+        if meta["has_netabs"]:
+            from repro.netabs.abstraction import build_abstraction
+
+            recipe = meta["netabs"]
+            netabs = build_abstraction(
+                network, problem.din,
+                num_groups=int(recipe["num_groups"]),
+                margin=float(recipe["margin"]),
+            )
+        output_range = None
+        if meta.get("has_output_range"):
+            output_range = Box(data["range_lower"], data["range_upper"])
+    return ProofArtifacts(
+        problem=problem,
+        states=states,
+        lipschitz=lipschitz,
+        network_abstraction=netabs,
+        output_range=output_range,
+        states_prove_safety=bool(meta["states_prove_safety"]),
+        original_time=float(meta["original_time"]),
+        notes=dict(meta.get("notes", {})),
+    )

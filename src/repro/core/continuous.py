@@ -1,0 +1,240 @@
+"""The continuous-verification orchestrator.
+
+Given the proof artifacts of the old problem and an SVuDC or SVbTV change,
+:class:`ContinuousVerifier` runs a cascade of reuse strategies -- cheapest
+artifact first -- and falls back to incremental fixing and finally full
+re-verification, reporting exactly what was reused, the verdict, and both
+timing conventions (sequential and max-subproblem).
+
+Strategy cascades (defaults, override per call):
+
+* SVuDC: Proposition 3 (arithmetic) -> Proposition 1 (two-layer exact)
+  -> Proposition 2 (layerwise rebuild with re-entry).
+* SVbTV: Proposition 6 (syntactic network-abstraction check; combined with
+  Propositions 1/3 when the domain also grew) -> Proposition 4 (parallel
+  single-layer checks) -> Proposition 5 -> incremental fixing -> full.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ArtifactError
+from repro.domains.box import Box
+from repro.exact.verify import check_containment
+from repro.nn.network import Network
+from repro.core.artifacts import ProofArtifacts
+from repro.core.fixing import FixingResult, incremental_fix
+from repro.core.problem import SVbTV, SVuDC
+from repro.core.propositions import (
+    PropositionResult,
+    SubproblemReport,
+    check_prop1,
+    check_prop2,
+    check_prop3,
+    check_prop4,
+    check_prop5,
+    check_prop6,
+)
+
+__all__ = ["ContinuousResult", "ContinuousVerifier"]
+
+
+@dataclass
+class ContinuousResult:
+    """Outcome of one continuous-verification run."""
+
+    holds: Optional[bool]
+    strategy: str
+    attempts: List[PropositionResult] = field(default_factory=list)
+    fixing: Optional[FixingResult] = None
+    elapsed: float = 0.0
+    #: max-subproblem time of the *successful* strategy (Table I metric)
+    winning_max_subproblem_time: float = 0.0
+    winning_time: float = 0.0
+
+    def speedup_vs(self, original_time: float, parallel: bool = True) -> float:
+        """Table I ratio: incremental time / original time (in percent)."""
+        inc = self.winning_max_subproblem_time if parallel else self.winning_time
+        if original_time <= 0:
+            return float("nan")
+        return 100.0 * inc / original_time
+
+
+class ContinuousVerifier:
+    """Reuses ``artifacts`` to settle modified verification problems."""
+
+    def __init__(self, artifacts: ProofArtifacts,
+                 method: str = "auto", domain: str = "symbolic",
+                 node_limit: int = 2000):
+        self.artifacts = artifacts
+        self.method = method
+        self.domain = domain
+        self.node_limit = node_limit
+
+    # ------------------------------------------------------------------ SVuDC
+    def verify_domain_change(self, problem: SVuDC,
+                             strategies: Sequence[str] = ("prop3", "prop1", "prop2"),
+                             ) -> ContinuousResult:
+        """Settle an SVuDC instance by artifact reuse."""
+        started = time.perf_counter()
+        attempts: List[PropositionResult] = []
+        for strategy in strategies:
+            result = self._run_svudc_strategy(strategy, problem.enlarged_din)
+            attempts.append(result)
+            if result.holds:
+                return self._finish(started, result.proposition, attempts,
+                                    winner=result)
+        return self._fallback_full(problem.new_problem.network,
+                                   problem.enlarged_din, started, attempts)
+
+    def _run_svudc_strategy(self, strategy: str, enlarged: Box) -> PropositionResult:
+        if strategy == "prop1":
+            return check_prop1(self.artifacts, enlarged, method=self.method,
+                               node_limit=self.node_limit)
+        if strategy == "prop2":
+            return check_prop2(self.artifacts, enlarged, domain=self.domain,
+                               method=self.method, node_limit=self.node_limit)
+        if strategy == "prop3":
+            return check_prop3(self.artifacts, enlarged)
+        raise ArtifactError(f"unknown SVuDC strategy {strategy!r}")
+
+    # ------------------------------------------------------------------ SVbTV
+    def verify_new_version(self, problem: SVbTV,
+                           strategies: Sequence[str] = ("prop6", "prop4", "prop5"),
+                           prop5_alphas: Optional[Sequence[int]] = None,
+                           with_fixing: bool = True) -> ContinuousResult:
+        """Settle an SVbTV instance by artifact reuse."""
+        started = time.perf_counter()
+        attempts: List[PropositionResult] = []
+        new_network = problem.new_network
+        enlarged = problem.enlarged_din
+        prop4_result: Optional[PropositionResult] = None
+
+        for strategy in strategies:
+            if strategy == "prop6":
+                if self.artifacts.network_abstraction is None:
+                    continue
+                result = self._prop6_composite(new_network, enlarged)
+            elif strategy == "prop4":
+                result = check_prop4(self.artifacts, new_network,
+                                     enlarged_din=enlarged, method=self.method,
+                                     node_limit=self.node_limit)
+                prop4_result = result
+            elif strategy == "prop5":
+                alphas = list(prop5_alphas) if prop5_alphas is not None else \
+                    self._default_alphas(new_network)
+                if not alphas:
+                    continue
+                result = check_prop5(self.artifacts, new_network, alphas,
+                                     enlarged_din=enlarged, method=self.method,
+                                     node_limit=self.node_limit)
+            else:
+                raise ArtifactError(f"unknown SVbTV strategy {strategy!r}")
+            attempts.append(result)
+            if result.holds:
+                return self._finish(started, result.proposition, attempts,
+                                    winner=result)
+
+        if with_fixing and prop4_result is not None:
+            fix = incremental_fix(self.artifacts, new_network, prop4_result,
+                                  enlarged_din=enlarged, domain=self.domain,
+                                  method=self.method, node_limit=self.node_limit)
+            if fix.holds is not None:
+                elapsed = time.perf_counter() - started
+                return ContinuousResult(
+                    holds=fix.holds,
+                    strategy=f"fixing: {fix.strategy}",
+                    attempts=attempts,
+                    fixing=fix,
+                    elapsed=elapsed,
+                    winning_max_subproblem_time=fix.max_subproblem_time,
+                    winning_time=fix.elapsed,
+                )
+        din = enlarged if enlarged is not None else self.artifacts.problem.din
+        return self._fallback_full(new_network, din, started, attempts)
+
+    def _prop6_composite(self, new_network: Network,
+                         enlarged: Optional[Box]) -> PropositionResult:
+        """Proposition 6, extended to domain enlargement per Section IV.B:
+        first transfer the abstraction on the original Din, then cover Δin
+        with Proposition 3 (reusing the old Lipschitz/output artifacts) or,
+        failing that, Proposition 1 on the new network's head."""
+        result = check_prop6(self.artifacts, new_network)
+        if not result.holds or enlarged is None or \
+                enlarged == self.artifacts.problem.din:
+            return result
+        tail = check_prop3(self.artifacts, enlarged)
+        if not tail.holds:
+            # Proposition 1 applied to the *new* network's two-layer head.
+            new_artifacts = ProofArtifacts(
+                problem=self.artifacts.problem,
+                states=self.artifacts.states,
+                lipschitz=self.artifacts.lipschitz,
+                states_prove_safety=self.artifacts.states_prove_safety,
+            )
+            head_check = check_prop1(new_artifacts, enlarged, method=self.method,
+                                     node_limit=self.node_limit)
+            # Soundness: prop1 on f' needs every S_i->S_{i+1} step of f' for
+            # i >= 2, which prop6 alone does not give; require prop4's tail
+            # checks for blocks 1..n.
+            tail_checks = check_prop4(self.artifacts, new_network,
+                                      enlarged_din=None, method=self.method,
+                                      node_limit=self.node_limit)
+            combined_holds = bool(head_check.holds and tail_checks.holds)
+            subproblems = (result.subproblems + head_check.subproblems
+                           + tail_checks.subproblems)
+            return PropositionResult(
+                proposition="prop6+prop1",
+                holds=combined_holds,
+                subproblems=subproblems,
+                elapsed=result.elapsed + head_check.elapsed + tail_checks.elapsed,
+                detail="abstraction transfer + exact head check on Δin",
+            )
+        return PropositionResult(
+            proposition="prop6+prop3",
+            holds=True,
+            subproblems=result.subproblems + tail.subproblems,
+            elapsed=result.elapsed + tail.elapsed,
+            detail="abstraction transfer + Lipschitz enlargement cover",
+        )
+
+    @staticmethod
+    def _default_alphas(network: Network) -> List[int]:
+        """Every second boundary: the 6-layer example of the paper picks
+        ``α = (2, 4)``; generalised to ``2, 4, 6, …`` (block boundaries)."""
+        return [a for a in range(2, network.num_blocks - 1, 2)]
+
+    # ----------------------------------------------------------------- shared
+    def _finish(self, started: float, strategy: str,
+                attempts: List[PropositionResult],
+                winner: PropositionResult) -> ContinuousResult:
+        return ContinuousResult(
+            holds=True,
+            strategy=strategy,
+            attempts=attempts,
+            elapsed=time.perf_counter() - started,
+            winning_max_subproblem_time=winner.max_subproblem_time,
+            winning_time=winner.elapsed,
+        )
+
+    def _fallback_full(self, network: Network, din: Box, started: float,
+                       attempts: List[PropositionResult]) -> ContinuousResult:
+        res = check_containment(network, din, self.artifacts.problem.dout,
+                                method="exact", node_limit=max(self.node_limit, 20000))
+        report = SubproblemReport.from_containment("full re-verification", res)
+        fallback = PropositionResult(
+            proposition="full", holds=res.holds, subproblems=[report],
+            elapsed=res.elapsed, detail="no reuse possible",
+        )
+        attempts.append(fallback)
+        return ContinuousResult(
+            holds=res.holds,
+            strategy="full re-verification",
+            attempts=attempts,
+            elapsed=time.perf_counter() - started,
+            winning_max_subproblem_time=res.elapsed,
+            winning_time=res.elapsed,
+        )

@@ -1,0 +1,157 @@
+"""The continuous-engineering loop: artifact lifecycle across versions.
+
+`ContinuousVerifier` settles one modified problem against one artifact set;
+real continuous engineering is a *sequence* of monitor enlargements and
+fine-tuning steps.  :class:`EngineeringLoop` owns that sequence:
+
+* it keeps the current verified problem and its proof artifacts;
+* every accepted change *advances the baseline* -- the enlarged domain or
+  the new version becomes the problem the next change is compared against;
+* when proof reuse fails, it transparently re-verifies from scratch and
+  refreshes the artifacts (recording that the expensive path was taken);
+* the full history, with per-step strategies and timings, feeds reports.
+
+This is the programmatic embodiment of the paper's workflow: "it is a
+realistic expectation to encounter multiple domain enlargement and
+fine-tuning activities".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.domains.box import Box
+from repro.nn.network import Network
+from repro.core.artifacts import ProofArtifacts
+from repro.core.continuous import ContinuousResult, ContinuousVerifier
+from repro.core.problem import SVbTV, SVuDC, VerificationProblem
+from repro.core.verifier import verify_from_scratch
+
+__all__ = ["LoopStep", "EngineeringLoop"]
+
+
+@dataclass
+class LoopStep:
+    """One accepted (or rejected) change in the loop history."""
+
+    kind: str                      # "initial" | "domain" | "version"
+    holds: Optional[bool]
+    strategy: str
+    elapsed: float
+    reverified: bool = False       # did this step pay a from-scratch run?
+    detail: str = ""
+
+
+@dataclass
+class EngineeringLoop:
+    """Stateful continuous-verification driver."""
+
+    problem: VerificationProblem
+    state_buffer: float = 0.03
+    rigor: str = "range"
+    with_network_abstraction: bool = False
+    netabs_groups: int = 4
+    netabs_margin: float = 0.02
+    method: str = "auto"
+    node_limit: int = 20000
+
+    artifacts: Optional[ProofArtifacts] = None
+    history: List[LoopStep] = field(default_factory=list)
+
+    # ----------------------------------------------------------------- setup
+    def initial_verification(self) -> LoopStep:
+        """Verify the starting problem from scratch and store artifacts."""
+        outcome = verify_from_scratch(
+            self.problem, state_buffer=self.state_buffer, rigor=self.rigor,
+            with_network_abstraction=self.with_network_abstraction,
+            netabs_groups=self.netabs_groups, netabs_margin=self.netabs_margin,
+            node_limit=max(self.node_limit, 20000))
+        self.artifacts = outcome.artifacts
+        step = LoopStep(kind="initial", holds=outcome.holds,
+                        strategy="from scratch", elapsed=outcome.elapsed,
+                        reverified=True, detail=outcome.detail)
+        self.history.append(step)
+        return step
+
+    def _verifier(self) -> ContinuousVerifier:
+        if self.artifacts is None:
+            raise RuntimeError("call initial_verification() first")
+        return ContinuousVerifier(self.artifacts, method=self.method,
+                                  node_limit=self.node_limit)
+
+    def _refresh(self, problem: VerificationProblem) -> ProofArtifacts:
+        outcome = verify_from_scratch(
+            problem, state_buffer=self.state_buffer, rigor=self.rigor,
+            with_network_abstraction=self.with_network_abstraction,
+            netabs_groups=self.netabs_groups, netabs_margin=self.netabs_margin,
+            node_limit=max(self.node_limit, 20000))
+        if outcome.holds:
+            self.artifacts = outcome.artifacts
+        return outcome.artifacts
+
+    # ----------------------------------------------------------------- steps
+    def on_domain_enlarged(self, enlarged_din: Box) -> LoopStep:
+        """The monitor reported new inputs: settle SVuDC and advance."""
+        started = time.perf_counter()
+        result: ContinuousResult = self._verifier().verify_domain_change(
+            SVuDC(self.problem, enlarged_din))
+        reverified = False
+        if result.holds:
+            new_problem = VerificationProblem(
+                self.problem.network, enlarged_din, self.problem.dout)
+            # Proof reuse settled safety but the artifacts still describe
+            # the old Din; refresh them so the *next* change compares
+            # against the enlarged baseline.
+            self._refresh(new_problem)
+            self.problem = new_problem
+            reverified = True
+        step = LoopStep(kind="domain", holds=result.holds,
+                        strategy=result.strategy,
+                        elapsed=time.perf_counter() - started,
+                        reverified=reverified, detail=result.strategy)
+        self.history.append(step)
+        return step
+
+    def on_new_version(self, new_network: Network,
+                       enlarged_din: Optional[Box] = None) -> LoopStep:
+        """A fine-tuned version arrived: settle SVbTV and advance."""
+        started = time.perf_counter()
+        result = self._verifier().verify_new_version(
+            SVbTV(self.problem, new_network, enlarged_din))
+        reverified = False
+        if result.holds:
+            din = enlarged_din if enlarged_din is not None else self.problem.din
+            new_problem = VerificationProblem(new_network, din,
+                                              self.problem.dout)
+            if result.strategy.startswith(("prop6", "full", "fixing")):
+                # Either we already paid a full run, or the accepted
+                # strategy does not yield fresh layered artifacts: refresh.
+                self._refresh(new_problem)
+                reverified = True
+            else:
+                # State-abstraction reuse succeeded: the stored S_i remain
+                # valid for the new network (that is what was just proved),
+                # so only swap the problem's network.
+                self.artifacts.problem = new_problem
+            self.problem = new_problem
+        step = LoopStep(kind="version", holds=result.holds,
+                        strategy=result.strategy,
+                        elapsed=time.perf_counter() - started,
+                        reverified=reverified, detail=result.strategy)
+        self.history.append(step)
+        return step
+
+    # ---------------------------------------------------------------- report
+    def summary(self) -> str:
+        lines = ["Engineering-loop history"]
+        for i, step in enumerate(self.history):
+            verdict = {True: "safe", False: "NOT PROVED", None: "unknown"}[step.holds]
+            flag = " (re-verified)" if step.reverified else ""
+            lines.append(f"  {i:>2} {step.kind:>8}: {verdict:<10} via "
+                         f"{step.strategy:<24} {step.elapsed * 1e3:9.2f} ms{flag}")
+        cheap = sum(1 for s in self.history if not s.reverified)
+        lines.append(f"  {cheap}/{len(self.history)} steps settled by proof "
+                     "reuse alone")
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Subproblem scheduling and the two time-accounting conventions.
+
+The local checks of Propositions 4/5 are independent, so the paper runs
+them in parallel and reports the *maximum* subproblem time (Table I,
+footnote 3).  This module provides both conventions over any list of
+:class:`~repro.core.propositions.SubproblemReport`:
+
+* ``sequential_time`` -- the sum (a single-worker execution);
+* ``parallel_time``   -- the max (unbounded workers);
+* ``makespan(workers)`` -- LPT-scheduled makespan for a finite pool,
+  interpolating between the two.
+
+``run_parallel`` additionally executes callables on a real thread pool;
+per-task wall times are measured inside the workers so the accounting stays
+meaningful even when threads contend.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.core.propositions import SubproblemReport
+
+__all__ = ["sequential_time", "parallel_time", "makespan", "run_parallel"]
+
+
+def sequential_time(subproblems: Sequence[SubproblemReport]) -> float:
+    """Total single-worker time."""
+    return float(sum(s.elapsed for s in subproblems))
+
+
+def parallel_time(subproblems: Sequence[SubproblemReport]) -> float:
+    """Unbounded-worker time: the slowest subproblem (Table I convention)."""
+    if not subproblems:
+        return 0.0
+    return float(max(s.elapsed for s in subproblems))
+
+
+def makespan(subproblems: Sequence[SubproblemReport], workers: int) -> float:
+    """Longest-processing-time-first makespan on ``workers`` machines."""
+    if workers <= 0:
+        raise ReproError(f"workers must be positive, got {workers}")
+    if not subproblems:
+        return 0.0
+    loads = [0.0] * min(workers, len(subproblems))
+    heapq.heapify(loads)
+    for t in sorted((s.elapsed for s in subproblems), reverse=True):
+        lightest = heapq.heappop(loads)
+        heapq.heappush(loads, lightest + t)
+    return float(max(loads))
+
+
+def run_parallel(tasks: Sequence[Tuple[str, Callable[[], object]]],
+                 workers: int = 4) -> List[Tuple[str, object, float]]:
+    """Execute named thunks on a thread pool, timing each inside its worker.
+
+    Returns ``[(name, result, elapsed), ...]`` in submission order.  LP
+    solving in HiGHS releases the GIL, so layer checks genuinely overlap.
+    """
+    if workers <= 0:
+        raise ReproError(f"workers must be positive, got {workers}")
+
+    def timed(thunk: Callable[[], object]) -> Tuple[object, float]:
+        t0 = time.perf_counter()
+        value = thunk()
+        return value, time.perf_counter() - t0
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(timed, thunk) for _, thunk in tasks]
+        results = []
+        for (name, _), future in zip(tasks, futures):
+            value, elapsed = future.result()
+            results.append((name, value, elapsed))
+    return results

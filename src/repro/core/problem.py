@@ -1,0 +1,107 @@
+"""Problem statements: safety verification and its continuous variants.
+
+Formalises Section III of the paper:
+
+* :class:`VerificationProblem` -- the base property
+  ``φ^f_{Din,Dout} := ∀x ∈ Din : f(x) ∈ Dout``;
+* :class:`SVuDC` -- *Safety Verification under Domain Change* (Problem
+  Statement 2): same network, enlarged input domain ``Din ∪ Δin``;
+* :class:`SVbTV` -- *Safety Verification between Two Versions* (Problem
+  Statement 1): fine-tuned network ``f'``, optionally with a domain
+  enlargement as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DomainError, ShapeError
+from repro.domains.box import Box
+from repro.nn.network import Network
+
+__all__ = ["VerificationProblem", "SVuDC", "SVbTV"]
+
+
+@dataclass
+class VerificationProblem:
+    """``φ^f_{Din,Dout}``: does every input in ``din`` map into ``dout``?"""
+
+    network: Network
+    din: Box
+    dout: Box
+
+    def __post_init__(self):
+        if self.din.dim != self.network.input_dim:
+            raise ShapeError(
+                f"Din dim {self.din.dim} != network input {self.network.input_dim}"
+            )
+        if self.dout.dim != self.network.output_dim:
+            raise ShapeError(
+                f"Dout dim {self.dout.dim} != network output {self.network.output_dim}"
+            )
+
+    def sample_check(self, n: int = 1000,
+                     rng: Optional[np.random.Generator] = None) -> Optional[np.ndarray]:
+        """Random falsification probe: a violating input or ``None``.
+
+        A cheap pre-check (and test oracle); never a proof.
+        """
+        rng = rng or np.random.default_rng()
+        xs = self.din.sample(n, rng)
+        ys = np.atleast_2d(self.network.forward(xs))
+        bad = (ys < self.dout.lower[None, :] - 1e-12) | \
+              (ys > self.dout.upper[None, :] + 1e-12)
+        idx = np.flatnonzero(bad.any(axis=1))
+        if idx.size:
+            return xs[idx[0]]
+        return None
+
+
+@dataclass
+class SVuDC:
+    """Problem Statement 2: ``φ^f_{Din,Dout}`` holds; does
+    ``φ^f_{Din∪Δin,Dout}``?"""
+
+    original: VerificationProblem
+    enlarged_din: Box
+
+    def __post_init__(self):
+        if not self.enlarged_din.contains_box(self.original.din):
+            raise DomainError("the enlarged domain must contain the original Din")
+
+    @property
+    def new_problem(self) -> VerificationProblem:
+        return VerificationProblem(self.original.network, self.enlarged_din,
+                                   self.original.dout)
+
+
+@dataclass
+class SVbTV:
+    """Problem Statement 1: ``φ^f_{Din,Dout}`` holds; does
+    ``φ^{f'}_{Din∪Δin,Dout}``?  (``Δin = ∅`` when ``enlarged_din`` is None.)"""
+
+    original: VerificationProblem
+    new_network: Network
+    enlarged_din: Optional[Box] = None
+
+    def __post_init__(self):
+        old, new = self.original.network, self.new_network
+        if (old.input_dim, old.output_dim) != (new.input_dim, new.output_dim):
+            raise ShapeError("old and new networks disagree on input/output dims")
+        if old.num_blocks != new.num_blocks:
+            raise ShapeError("old and new networks must share the block structure")
+        if self.enlarged_din is not None and \
+                not self.enlarged_din.contains_box(self.original.din):
+            raise DomainError("the enlarged domain must contain the original Din")
+
+    @property
+    def effective_din(self) -> Box:
+        return self.enlarged_din if self.enlarged_din is not None else self.original.din
+
+    @property
+    def new_problem(self) -> VerificationProblem:
+        return VerificationProblem(self.new_network, self.effective_din,
+                                   self.original.dout)

@@ -1,0 +1,73 @@
+"""Human-readable reports, including the Table I layout of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.continuous import ContinuousResult
+from repro.core.propositions import PropositionResult
+
+__all__ = ["Table1Row", "format_table1", "format_proposition_result",
+           "format_continuous_result"]
+
+
+@dataclass
+class Table1Row:
+    """One tuning step's measurements (both ratios in percent)."""
+
+    case_id: int
+    svudc_ratio: float
+    svbtv_ratio: float
+    svudc_strategy: str = ""
+    svbtv_strategy: str = ""
+
+
+def format_table1(rows: Sequence[Table1Row],
+                  title: str = "TIME SAVINGS FROM INCREMENTAL VERIFICATION",
+                  ) -> str:
+    """Render rows in the layout of the paper's Table I."""
+    lines = [title,
+             f"{'case ID':>7} | {'SVuDC time / original':>22} | "
+             f"{'SVbTV time / original':>22}"]
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        lines.append(
+            f"{row.case_id:>7} | {row.svudc_ratio:>21.2f}% | "
+            f"{row.svbtv_ratio:>21.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_proposition_result(result: PropositionResult) -> str:
+    """Multi-line summary of a proposition attempt."""
+    verdict = {True: "HOLDS", False: "fails", None: "inconclusive"}[result.holds]
+    lines = [f"[{result.proposition}] {verdict}  "
+             f"(total {result.elapsed * 1e3:.2f} ms, "
+             f"max subproblem {result.max_subproblem_time * 1e3:.2f} ms)"]
+    if result.detail:
+        lines.append(f"  detail: {result.detail}")
+    for sub in result.subproblems:
+        mark = {True: "+", False: "-", None: "?"}[sub.holds]
+        lines.append(f"  [{mark}] {sub.name}: {sub.elapsed * 1e3:.2f} ms"
+                     + (f"  ({sub.detail})" if sub.detail else ""))
+    return "\n".join(lines)
+
+
+def format_continuous_result(result: ContinuousResult,
+                             original_time: Optional[float] = None) -> str:
+    """Summary of an orchestrated continuous-verification run."""
+    verdict = {True: "SAFE", False: "NOT PROVED", None: "UNKNOWN"}[result.holds]
+    lines = [f"{verdict} via {result.strategy} "
+             f"(total {result.elapsed * 1e3:.2f} ms, winning strategy "
+             f"{result.winning_time * 1e3:.2f} ms, "
+             f"max subproblem {result.winning_max_subproblem_time * 1e3:.2f} ms)"]
+    if original_time is not None and original_time > 0:
+        lines.append(
+            f"  incremental/original: "
+            f"{result.speedup_vs(original_time):.2f}% (parallel), "
+            f"{result.speedup_vs(original_time, parallel=False):.2f}% (sequential)"
+        )
+    for attempt in result.attempts:
+        lines.append("  " + format_proposition_result(attempt).replace("\n", "\n  "))
+    return "\n".join(lines)

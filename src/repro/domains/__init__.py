@@ -1,0 +1,33 @@
+"""Abstract domains: boxes, ReluVal-style symbolic intervals, zonotopes."""
+
+from repro.domains.box import Box, BoxPropagator, affine_bounds, box_kappa
+from repro.domains.symbolic import SymbolicInterval, SymbolicPropagator
+from repro.domains.zonotope import Zonotope, ZonotopePropagator
+from repro.domains.backward import BackwardRefinement, refine_input_box
+from repro.domains.deeppoly import DeepPolyPropagator
+from repro.domains.propagate import (
+    inductive_states,
+    PROPAGATORS,
+    get_propagator,
+    output_box,
+    propagate_network,
+)
+
+__all__ = [
+    "BackwardRefinement",
+    "Box",
+    "DeepPolyPropagator",
+    "inductive_states",
+    "refine_input_box",
+    "BoxPropagator",
+    "PROPAGATORS",
+    "SymbolicInterval",
+    "SymbolicPropagator",
+    "Zonotope",
+    "ZonotopePropagator",
+    "affine_bounds",
+    "box_kappa",
+    "get_propagator",
+    "output_box",
+    "propagate_network",
+]

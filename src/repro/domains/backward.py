@@ -1,0 +1,196 @@
+"""Backward interval reasoning: preimage-constrained box refinement.
+
+The paper's closing remarks name "symbolic reasoning using both forward and
+backward propagation in a continuous verification setup" as a direction.
+This module implements the backward half for box domains: given an input
+box and an *output* constraint, it shrinks the per-layer (and input) boxes
+to the part that can actually reach the constrained outputs -- interval
+constraint propagation in the HC4-revise style:
+
+* forward sweep: ordinary interval propagation records pre/post boxes;
+* backward sweep: the output box is intersected into the last layer, each
+  activation is inverted interval-wise (``ReLU^{-1}([l, u])`` keeps the
+  negative part only when ``l <= 0``), and each affine layer refines its
+  inputs row by row (solving ``z_i = Σ w_ij x_j + b_i`` for each ``x_j``
+  given interval bounds on everything else);
+* sweeps repeat until a fixed point (or the iteration budget).
+
+Uses in continuous verification: shrinking an enlarged input domain to the
+sub-region that could possibly violate ``Dout`` before handing it to the
+exact solver, and diagnosing *which* monitor dimensions matter for a
+reported enlargement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import UnsupportedLayerError
+from repro.domains.box import Box, BoxPropagator
+from repro.nn.layers import LeakyReLU, ReLU
+from repro.nn.network import Network
+
+__all__ = ["BackwardRefinement", "refine_input_box"]
+
+
+@dataclass
+class BackwardRefinement:
+    """Result of forward/backward refinement.
+
+    ``input_box`` is ``None`` when the analysis proves that *no* point of
+    the original input box reaches the output constraint (the constrained
+    region is empty -- e.g. no violation is reachable).
+    """
+
+    input_box: Optional[Box]
+    layer_boxes: List[Optional[Box]]
+    iterations: int
+    empty: bool
+
+    @property
+    def volume_ratio(self) -> float:
+        """Refined / original input volume (0 when proven empty)."""
+        return self._ratio
+
+    _ratio: float = 1.0
+
+
+def _invert_activation(act, post: Box, pre: Box) -> Optional[Box]:
+    """Intersect ``pre`` with the preimage of ``post`` under ``act``."""
+    if act is None:
+        return pre.intersection(post)
+    if isinstance(act, ReLU):
+        slope = 0.0
+    elif isinstance(act, LeakyReLU):
+        slope = act.alpha
+    else:
+        raise UnsupportedLayerError(
+            f"backward analysis supports ReLU/LeakyReLU, not {type(act).__name__}")
+    lo = np.empty(post.dim)
+    hi = np.empty(post.dim)
+    for i in range(post.dim):
+        pl, pu = post.lower[i], post.upper[i]
+        # y = max(z, slope*z).  Invert on the two linear pieces.
+        # Positive piece: z in [max(pl,0), pu] when pu >= 0.
+        # Negative piece: z in [pl/slope, min(pu,0)/slope] (slope>0) or
+        # z in (-inf, 0] when slope == 0 and pl <= 0 <= pu covers y=0.
+        cand_lo, cand_hi = np.inf, -np.inf
+        if pu >= 0.0:
+            cand_lo = min(cand_lo, max(pl, 0.0))
+            cand_hi = max(cand_hi, pu)
+        if slope > 0.0:
+            neg_hi = min(pu, 0.0)
+            if pl <= neg_hi:
+                cand_lo = min(cand_lo, pl / slope)
+                cand_hi = max(cand_hi, neg_hi / slope)
+        elif pl <= 0.0 <= pu:
+            # ReLU outputs 0 for every non-positive pre-activation.
+            cand_lo = -np.inf
+            cand_hi = max(cand_hi, 0.0) if cand_hi == -np.inf else cand_hi
+        if cand_lo > cand_hi:
+            return None  # empty preimage for this neuron
+        lo[i] = max(pre.lower[i], cand_lo)
+        hi[i] = min(pre.upper[i], cand_hi)
+        if lo[i] > hi[i]:
+            return None
+    return Box(lo, hi)
+
+
+def _backward_affine(weight: np.ndarray, bias: np.ndarray,
+                     z_box: Box, x_box: Box) -> Optional[Box]:
+    """Refine ``x_box`` given ``z = W x + b`` with ``z`` in ``z_box``
+    (one HC4-revise sweep over the rows)."""
+    lo = x_box.lower.copy()
+    hi = x_box.upper.copy()
+    for i in range(weight.shape[0]):
+        row = weight[i]
+        zl = z_box.lower[i] - bias[i]
+        zu = z_box.upper[i] - bias[i]
+        # interval of sum_j row_j x_j restricted to [zl, zu]
+        contrib_lo = np.where(row >= 0, row * lo, row * hi)
+        contrib_hi = np.where(row >= 0, row * hi, row * lo)
+        total_lo, total_hi = contrib_lo.sum(), contrib_hi.sum()
+        if total_lo > zu + 1e-12 or total_hi < zl - 1e-12:
+            return None  # row constraint unsatisfiable within x_box
+        for j in np.flatnonzero(np.abs(row) > 1e-12):
+            rest_lo = total_lo - contrib_lo[j]
+            rest_hi = total_hi - contrib_hi[j]
+            # row_j * x_j must lie in [zl - rest_hi, zu - rest_lo]
+            term_lo = zl - rest_hi
+            term_hi = zu - rest_lo
+            if row[j] > 0:
+                new_lo, new_hi = term_lo / row[j], term_hi / row[j]
+            else:
+                new_lo, new_hi = term_hi / row[j], term_lo / row[j]
+            if new_lo > lo[j]:
+                lo[j] = min(new_lo, hi[j])
+            if new_hi < hi[j]:
+                hi[j] = max(new_hi, lo[j])
+            if lo[j] > hi[j]:
+                return None
+    return Box(lo, hi)
+
+
+def refine_input_box(network: Network, input_box: Box, output_box: Box,
+                     iterations: int = 3) -> BackwardRefinement:
+    """Shrink ``input_box`` to the region that can reach ``output_box``.
+
+    Sound over-approximation of ``{x in input_box : f(x) in output_box}``;
+    returns ``empty=True`` when that set is proven empty.  Typical use:
+    ``output_box`` = the *complement-side* band of a safety bound, so an
+    ``empty`` verdict proves safety and a small refined box focuses the
+    exact solver.
+    """
+    propagator = BoxPropagator()
+    current_in = input_box
+    layer_post: List[Box] = []
+    iters = 0
+    for iters in range(1, iterations + 1):
+        # ---- forward sweep -------------------------------------------------
+        pre_boxes: List[Box] = []
+        post_boxes: List[Box] = []
+        cur = current_in
+        for block in network.blocks():
+            from repro.domains.box import affine_bounds
+
+            pre = affine_bounds(block.dense.weight, block.dense.bias, cur)
+            post = (pre if block.activation is None
+                    else propagator.propagate_activation(block.activation, pre))
+            pre_boxes.append(pre)
+            post_boxes.append(post)
+            cur = post
+        # ---- backward sweep ------------------------------------------------
+        constraint: Optional[Box] = post_boxes[-1].intersection(output_box)
+        if constraint is None:
+            return BackwardRefinement(None, [], iters, True, _ratio=0.0)
+        new_in = current_in
+        for k in range(network.num_blocks - 1, -1, -1):
+            block = network.blocks()[k]
+            pre_refined = _invert_activation(block.activation, constraint,
+                                             pre_boxes[k])
+            if pre_refined is None:
+                return BackwardRefinement(None, [], iters, True, _ratio=0.0)
+            source = current_in if k == 0 else post_boxes[k - 1]
+            refined = _backward_affine(block.dense.weight, block.dense.bias,
+                                       pre_refined, source)
+            if refined is None:
+                return BackwardRefinement(None, [], iters, True, _ratio=0.0)
+            if k == 0:
+                new_in = refined
+            else:
+                post_boxes[k - 1] = refined
+                constraint = refined
+                continue
+        layer_post = post_boxes
+        if np.allclose(new_in.lower, current_in.lower) and \
+                np.allclose(new_in.upper, current_in.upper):
+            current_in = new_in
+            break
+        current_in = new_in
+    ratio = (current_in.volume() / input_box.volume()
+             if input_box.volume() > 0 else 1.0)
+    return BackwardRefinement(current_in, list(layer_post), iters, False,
+                              _ratio=float(ratio))

@@ -1,0 +1,292 @@
+"""Axis-aligned boxes: the library's universal set representation.
+
+Boxes play three roles in the reproduction, matching the paper's evaluation:
+
+1. **Input domains** ``Din`` and their enlargements ``Din ∪ Δin`` (the
+   monitor records per-feature min/max bounds, so enlarged domains are again
+   boxes containing the original).
+2. **State abstractions** ``S_i``: ReluVal-style analysis bounds every neuron
+   by lower/upper valuations, i.e. each ``S_i`` is a box.
+3. **Safe output sets** ``Dout``.
+
+Besides set operations, this module implements the box abstract transformers
+(interval arithmetic) used as the cheapest propagation domain, and the
+``κ`` computation of Proposition 3 (the bound on the distance from any point
+of ``Δin`` to ``Din``, exact for boxed domains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DomainError, ShapeError, UnsupportedLayerError
+from repro.nn.layers import Dense, Flatten, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.network import Network
+
+__all__ = ["Box", "box_kappa", "affine_bounds"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """Closed axis-aligned box ``{x : lower <= x <= upper}`` (elementwise)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self):
+        lower = np.asarray(self.lower, dtype=np.float64).reshape(-1)
+        upper = np.asarray(self.upper, dtype=np.float64).reshape(-1)
+        if lower.shape != upper.shape:
+            raise ShapeError(f"bound shapes differ: {lower.shape} vs {upper.shape}")
+        if lower.size == 0:
+            raise DomainError("boxes must have at least one dimension")
+        if np.any(lower > upper + 1e-12):
+            worst = float(np.max(lower - upper))
+            raise DomainError(f"lower exceeds upper by {worst:.3g}")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", np.maximum(upper, lower))
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def from_bounds(bounds: Sequence[Tuple[float, float]]) -> "Box":
+        """Build from ``[(l1, u1), (l2, u2), ...]``."""
+        arr = np.asarray(bounds, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ShapeError(f"expected (d, 2) bounds, got {arr.shape}")
+        return Box(arr[:, 0], arr[:, 1])
+
+    @staticmethod
+    def from_samples(samples: np.ndarray, buffer: float = 0.0) -> "Box":
+        """Tightest box containing ``samples`` ``(N, d)``, inflated by
+        ``buffer`` on each side (the paper's "additional buffers")."""
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ShapeError(f"expected non-empty (N, d) samples, got {arr.shape}")
+        return Box(arr.min(axis=0) - buffer, arr.max(axis=0) + buffer)
+
+    @staticmethod
+    def centered(center: np.ndarray, radius) -> "Box":
+        """Box ``[center - radius, center + radius]`` (radius scalar or vector)."""
+        center = np.asarray(center, dtype=np.float64).reshape(-1)
+        radius = np.broadcast_to(np.asarray(radius, dtype=np.float64), center.shape)
+        if np.any(radius < 0):
+            raise DomainError("radius must be non-negative")
+        return Box(center - radius, center + radius)
+
+    # -------------------------------------------------------------- geometry
+    @property
+    def dim(self) -> int:
+        return self.lower.size
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def radius(self) -> np.ndarray:
+        return 0.5 * (self.upper - self.lower)
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.upper - self.lower
+
+    def volume(self) -> float:
+        """Product of widths (0 for degenerate boxes)."""
+        return float(np.prod(self.widths))
+
+    # ------------------------------------------------------------ set algebra
+    def contains_point(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        if x.shape != self.lower.shape:
+            raise ShapeError(f"point dim {x.size} != box dim {self.dim}")
+        return bool(np.all(x >= self.lower - tol) and np.all(x <= self.upper + tol))
+
+    def contains_box(self, other: "Box", tol: float = 1e-9) -> bool:
+        self._check_same_dim(other)
+        return bool(
+            np.all(other.lower >= self.lower - tol)
+            and np.all(other.upper <= self.upper + tol)
+        )
+
+    def containment_violation(self, other: "Box") -> float:
+        """How far ``other`` sticks out of ``self`` (0 if contained).
+
+        The maximum, over dimensions, of the outward excess; verification
+        reports use it to quantify *by how much* a reuse condition failed.
+        """
+        self._check_same_dim(other)
+        excess = np.maximum(self.lower - other.lower, other.upper - self.upper)
+        return float(max(np.max(excess), 0.0))
+
+    def intersects(self, other: "Box", tol: float = 1e-9) -> bool:
+        self._check_same_dim(other)
+        return bool(
+            np.all(self.lower <= other.upper + tol)
+            and np.all(other.lower <= self.upper + tol)
+        )
+
+    def union(self, other: "Box") -> "Box":
+        """Smallest box containing both (join in the box lattice)."""
+        self._check_same_dim(other)
+        return Box(np.minimum(self.lower, other.lower),
+                   np.maximum(self.upper, other.upper))
+
+    def intersection(self, other: "Box") -> Optional["Box"]:
+        """Largest box inside both, or ``None`` when disjoint."""
+        self._check_same_dim(other)
+        lo = np.maximum(self.lower, other.lower)
+        hi = np.minimum(self.upper, other.upper)
+        if np.any(lo > hi):
+            return None
+        return Box(lo, hi)
+
+    def inflate(self, amount) -> "Box":
+        """Grow each side by ``amount`` (scalar or per-dim vector).
+
+        This is the ``Ŝn := {ŝ | ∃s ∈ Sn : |ŝ − s| ≤ ℓκ}`` operation from
+        Proposition 3 when ``amount = ℓκ``.
+        """
+        amount = np.broadcast_to(np.asarray(amount, dtype=np.float64),
+                                 self.lower.shape)
+        if np.any(amount < 0):
+            raise DomainError("inflation amount must be non-negative")
+        return Box(self.lower - amount, self.upper + amount)
+
+    def clip_point(self, x: np.ndarray) -> np.ndarray:
+        """Project ``x`` onto the box (nearest point in Euclidean norm)."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        return np.clip(x, self.lower, self.upper)
+
+    def distance_to_point(self, x: np.ndarray, ord: float = 2) -> float:
+        """Distance from ``x`` to the box under the given norm."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        gap = np.maximum(np.maximum(self.lower - x, x - self.upper), 0.0)
+        return float(np.linalg.norm(gap, ord=ord))
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Uniform samples ``(n, d)`` from the box."""
+        rng = rng or np.random.default_rng()
+        u = rng.uniform(size=(int(n), self.dim))
+        return self.lower + u * self.widths
+
+    def corners(self, limit: int = 4096) -> np.ndarray:
+        """All ``2^d`` corner points (guarded by ``limit``)."""
+        if 2 ** self.dim > limit:
+            raise DomainError(
+                f"box has 2^{self.dim} corners, above the limit of {limit}"
+            )
+        grids = np.meshgrid(*[(lo, hi) for lo, hi in zip(self.lower, self.upper)],
+                            indexing="ij")
+        return np.stack([g.reshape(-1) for g in grids], axis=1)
+
+    def split(self, dim: Optional[int] = None) -> Tuple["Box", "Box"]:
+        """Bisect along ``dim`` (widest dimension when ``None``)."""
+        if dim is None:
+            dim = int(np.argmax(self.widths))
+        if not 0 <= dim < self.dim:
+            raise DomainError(f"split dim {dim} out of range for dim {self.dim}")
+        mid = 0.5 * (self.lower[dim] + self.upper[dim])
+        lo_hi = self.upper.copy()
+        lo_hi[dim] = mid
+        hi_lo = self.lower.copy()
+        hi_lo[dim] = mid
+        return Box(self.lower, lo_hi), Box(hi_lo, self.upper)
+
+    def _check_same_dim(self, other: "Box") -> None:
+        if other.dim != self.dim:
+            raise ShapeError(f"box dims differ: {self.dim} vs {other.dim}")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Box)
+            and np.array_equal(self.lower, other.lower)
+            and np.array_equal(self.upper, other.upper)
+        )
+
+    def __hash__(self):
+        return hash((self.lower.tobytes(), self.upper.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.dim <= 4:
+            pairs = ", ".join(
+                f"[{lo:.4g}, {hi:.4g}]" for lo, hi in zip(self.lower, self.upper)
+            )
+            return f"Box({pairs})"
+        return f"Box(dim={self.dim})"
+
+
+def box_kappa(din: Box, enlarged: Box, ord: float = 2) -> float:
+    """The Proposition 3 constant ``κ`` for boxed domains.
+
+    ``κ`` bounds, for every ``x1 ∈ Δin = enlarged \\ Din``, the distance to
+    the nearest ``x2 ∈ Din``.  For boxes this maximum is attained at a corner
+    of the enlarged box, so it equals the norm of the vector of per-dimension
+    outward excesses -- computed exactly here.
+    """
+    if not enlarged.contains_box(din):
+        raise DomainError("enlarged domain must contain the original Din")
+    excess = np.maximum(
+        np.maximum(din.lower - enlarged.lower, enlarged.upper - din.upper), 0.0
+    )
+    return float(np.linalg.norm(excess, ord=ord))
+
+
+def affine_bounds(weight: np.ndarray, bias: np.ndarray, box: Box) -> Box:
+    """Exact output box of ``W x + b`` over an input box (interval arithmetic).
+
+    Exact because an affine image of a box attains each output coordinate's
+    extremes independently at box corners.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    bias = np.asarray(bias, dtype=np.float64)
+    if weight.shape[1] != box.dim:
+        raise ShapeError(f"weight expects dim {weight.shape[1]}, box has {box.dim}")
+    center = weight @ box.center + bias
+    radius = np.abs(weight) @ box.radius
+    return Box(center - radius, center + radius)
+
+
+class BoxPropagator:
+    """Interval-arithmetic abstract transformers for a whole network."""
+
+    name = "box"
+
+    def propagate_block(self, block, box: Box) -> Box:
+        """Push a box through one paper-layer ``g_k``."""
+        out = affine_bounds(block.dense.weight, block.dense.bias, box)
+        act = block.activation
+        if act is None:
+            return out
+        return self.propagate_activation(act, out)
+
+    @staticmethod
+    def propagate_activation(act, box: Box) -> Box:
+        """Monotone elementwise activations map boxes to boxes exactly."""
+        if isinstance(act, ReLU):
+            return Box(np.maximum(box.lower, 0.0), np.maximum(box.upper, 0.0))
+        if isinstance(act, LeakyReLU):
+            a = act.alpha
+            lo = np.where(box.lower > 0, box.lower, a * box.lower)
+            hi = np.where(box.upper > 0, box.upper, a * box.upper)
+            return Box(lo, hi)
+        if isinstance(act, (Sigmoid, Tanh)):
+            return Box(act.forward(box.lower), act.forward(box.upper))
+        raise UnsupportedLayerError(f"no box transformer for {type(act).__name__}")
+
+    def propagate(self, network: Network, input_box: Box) -> List[Box]:
+        """Per-block output boxes ``[S_1, ..., S_n]`` for the input box."""
+        if input_box.dim != network.input_dim:
+            raise ShapeError(
+                f"input box dim {input_box.dim} != network input {network.input_dim}"
+            )
+        boxes = []
+        current = input_box
+        for block in network.blocks():
+            current = self.propagate_block(block, current)
+            boxes.append(current)
+        return boxes

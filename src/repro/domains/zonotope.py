@@ -1,0 +1,135 @@
+"""Zonotope abstract domain (DeepZ/AI2-style affine forms).
+
+A zonotope is ``{ c + G e : e in [-1, 1]^m }`` with center ``c`` and
+generator matrix ``G``.  Affine layers transform it exactly; the (leaky-)
+ReLU transformer introduces one fresh noise symbol per unstable neuron using
+the minimal-area affine relaxation.  Zonotopes sit between plain boxes and
+symbolic intervals in precision/cost and are used by the domain ablation
+study (Fig. 1's insight: coarser transformers inflate ``S_2`` and break
+Proposition 1 where precise/exact methods succeed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ShapeError, UnsupportedLayerError
+from repro.domains.box import Box
+from repro.nn.layers import LeakyReLU, ReLU
+from repro.nn.network import Network
+
+__all__ = ["Zonotope", "ZonotopePropagator"]
+
+
+@dataclass
+class Zonotope:
+    """Affine form ``c + G e``, ``e`` ranging over the unit hypercube."""
+
+    center: np.ndarray
+    generators: np.ndarray  # (dim, num_symbols)
+
+    def __post_init__(self):
+        c = np.asarray(self.center, dtype=np.float64).reshape(-1)
+        g = np.asarray(self.generators, dtype=np.float64)
+        if g.ndim != 2 or g.shape[0] != c.size:
+            raise ShapeError(
+                f"generators must be ({c.size}, m), got {g.shape}"
+            )
+        object.__setattr__(self, "center", c)
+        object.__setattr__(self, "generators", g)
+
+    @staticmethod
+    def from_box(box: Box) -> "Zonotope":
+        """Input box as a zonotope with one symbol per dimension."""
+        return Zonotope(box.center, np.diag(box.radius))
+
+    @property
+    def dim(self) -> int:
+        return self.center.size
+
+    @property
+    def num_symbols(self) -> int:
+        return self.generators.shape[1]
+
+    def concretize(self) -> Box:
+        radius = np.abs(self.generators).sum(axis=1)
+        return Box(self.center - radius, self.center + radius)
+
+    def affine(self, weight: np.ndarray, bias: np.ndarray) -> "Zonotope":
+        """Exact image under ``x -> W x + b``."""
+        return Zonotope(weight @ self.center + bias, weight @ self.generators)
+
+
+class ZonotopePropagator:
+    """Network-level zonotope propagation."""
+
+    name = "zonotope"
+
+    def propagate_block(self, block, zono: Zonotope) -> Zonotope:
+        zono = zono.affine(block.dense.weight, block.dense.bias)
+        act = block.activation
+        if act is None:
+            return zono
+        if isinstance(act, ReLU):
+            return self._relu(zono, slope_neg=0.0)
+        if isinstance(act, LeakyReLU):
+            return self._relu(zono, slope_neg=act.alpha)
+        raise UnsupportedLayerError(
+            f"zonotopes support ReLU/LeakyReLU, not {type(act).__name__}"
+        )
+
+    @staticmethod
+    def _relu(zono: Zonotope, slope_neg: float) -> Zonotope:
+        """DeepZ transformer: ``y = λ x + μ ± η`` per unstable neuron.
+
+        With bounds ``[l, u]`` (``l < 0 < u``) and negative-side slope ``a``:
+        ``λ = (u - a l) / (u - l)`` and the relaxation band between the chord
+        and the function has vertical extent ``(λ - a) * (-l)``; centering the
+        band gives ``μ = η = (λ - a) * (-l) / 2``.  Stable neurons are scaled
+        exactly; one fresh noise symbol is appended per unstable neuron.
+        """
+        box = zono.concretize()
+        lo, hi = box.lower, box.upper
+        d = zono.dim
+        scale = np.ones(d)
+        shift = np.zeros(d)
+        fresh = []
+        for i in range(d):
+            l, u = lo[i], hi[i]
+            if u <= 0.0:
+                scale[i] = slope_neg
+            elif l >= 0.0:
+                continue
+            else:
+                lam = (u - slope_neg * l) / (u - l)
+                eta = 0.5 * (lam - slope_neg) * (-l)
+                scale[i] = lam
+                shift[i] = eta
+                fresh.append((i, eta))
+        center = scale * zono.center + shift
+        gens = scale[:, None] * zono.generators
+        if fresh:
+            extra = np.zeros((d, len(fresh)))
+            for col, (i, eta) in enumerate(fresh):
+                extra[i, col] = eta
+            gens = np.hstack([gens, extra])
+        return Zonotope(center, gens)
+
+    def propagate_states(self, network: Network, input_box: Box) -> List[Zonotope]:
+        if input_box.dim != network.input_dim:
+            raise ShapeError(
+                f"input box dim {input_box.dim} != network input {network.input_dim}"
+            )
+        states = []
+        zono = Zonotope.from_box(input_box)
+        for block in network.blocks():
+            zono = self.propagate_block(block, zono)
+            states.append(zono)
+        return states
+
+    def propagate(self, network: Network, input_box: Box) -> List[Box]:
+        """Concretised per-block boxes ``[S_1, ..., S_n]``."""
+        return [z.concretize() for z in self.propagate_states(network, input_box)]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Verification *outcomes* (safe / unknown / unsafe) are
+never signalled with exceptions -- they are ordinary return values; exceptions
+are reserved for malformed inputs and internal failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError):
+    """An array, layer, or domain received data of an incompatible shape."""
+
+
+class LayerError(ReproError):
+    """A layer was constructed with or applied to invalid data."""
+
+
+class SerializationError(ReproError):
+    """A network or artifact could not be serialized or deserialized."""
+
+
+class DomainError(ReproError):
+    """An abstract-domain operation received invalid or unsupported input."""
+
+
+class SolverError(ReproError):
+    """The LP/MILP backend failed in a way that is not a normal infeasible
+    or unbounded verdict (e.g. numerical breakdown inside HiGHS)."""
+
+
+class UnsupportedLayerError(ReproError):
+    """A verification routine met a layer it has no transformer/encoding for."""
+
+
+class ArtifactError(ReproError):
+    """Proof artifacts are missing, inconsistent, or do not match a network."""
+
+
+class MonitorError(ReproError):
+    """The runtime monitor was used before calibration or with bad data."""
+
+
+class VehicleError(ReproError):
+    """The vehicle simulation substrate received invalid configuration."""

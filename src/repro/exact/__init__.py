@@ -1,0 +1,56 @@
+"""Exact verification: LP, big-M MILP, ReLU branch-and-bound, splitting."""
+
+from repro.exact.lp import (
+    LP_INFEASIBLE,
+    LP_OPTIMAL,
+    LP_UNBOUNDED,
+    LPResult,
+    solve_lp,
+)
+from repro.exact.encoding import LinearSystem, NetworkEncoding, PhaseMap
+from repro.exact.milp import MILPResult, solve_milp
+from repro.exact.bab import (
+    BaBResult,
+    BaBSolver,
+    maximize_output,
+    minimize_output,
+)
+from repro.exact.splitting import SplitResult, check_containment_split
+from repro.exact.tighten import TightenStats, tighten_preactivation_bounds
+from repro.exact.incremental import (
+    BranchCertificate,
+    certify_threshold,
+    prove_with_certificate,
+)
+from repro.exact.verify import (
+    ContainmentResult,
+    check_containment,
+    output_range_exact,
+)
+
+__all__ = [
+    "BaBResult",
+    "BranchCertificate",
+    "TightenStats",
+    "certify_threshold",
+    "prove_with_certificate",
+    "tighten_preactivation_bounds",
+    "BaBSolver",
+    "ContainmentResult",
+    "LP_INFEASIBLE",
+    "LP_OPTIMAL",
+    "LP_UNBOUNDED",
+    "LPResult",
+    "LinearSystem",
+    "MILPResult",
+    "NetworkEncoding",
+    "PhaseMap",
+    "SplitResult",
+    "check_containment",
+    "check_containment_split",
+    "maximize_output",
+    "minimize_output",
+    "output_range_exact",
+    "solve_lp",
+    "solve_milp",
+]

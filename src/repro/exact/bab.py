@@ -1,0 +1,253 @@
+"""ReLU-phase branch and bound: exact optimisation over network outputs.
+
+The workhorse of every "exact local check" in the paper: maximise a linear
+function of a (sub)network's output over a box of inputs.  Each node of the
+search tree is a partial phase assignment for statically-unstable neurons;
+its LP relaxation (triangle hull for still-free neurons) yields an upper
+bound, and forward-evaluating the relaxation's input point yields a feasible
+lower bound (incumbent).  Branching fixes the most violated neuron's phase.
+The method is sound and complete for ReLU / LeakyReLU networks.
+
+Threshold mode makes the proposition checks cheap: when the caller only
+needs to know whether ``max <= threshold`` the search stops as soon as the
+global upper bound drops below (proved) or the incumbent rises above
+(refuted, with a concrete counterexample input).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.domains.box import Box
+from repro.exact.encoding import NetworkEncoding, PhaseMap
+from repro.exact.lp import LP_INFEASIBLE, LP_OPTIMAL, solve_lp
+from repro.nn.network import Network
+
+__all__ = ["BaBResult", "BaBSolver", "maximize_output", "minimize_output"]
+
+BAB_OPTIMAL = "optimal"
+BAB_PROVED = "threshold_proved"     # max <= threshold established
+BAB_REFUTED = "threshold_refuted"   # witness with value > threshold found
+BAB_INFEASIBLE = "infeasible"
+BAB_NODE_LIMIT = "node_limit"
+
+
+@dataclass
+class BaBResult:
+    """Result of one branch-and-bound maximisation.
+
+    ``upper_bound`` always soundly over-approximates the true maximum;
+    ``incumbent`` is the best *achieved* value (at input ``witness``).
+    At ``status == "optimal"`` the two coincide within tolerance.
+    """
+
+    status: str
+    upper_bound: float
+    incumbent: float
+    witness: Optional[np.ndarray]
+    nodes: int
+    lp_solves: int
+
+    @property
+    def optimum(self) -> float:
+        """The exact maximum (only meaningful when ``status == "optimal"``)."""
+        return self.upper_bound
+
+
+class BaBSolver:
+    """Branch-and-bound maximiser bound to one ``(network, box)`` encoding."""
+
+    def __init__(self, network: Network, input_box: Box,
+                 encoding: Optional[NetworkEncoding] = None,
+                 tol: float = 1e-6, node_limit: int = 2000):
+        self.network = network
+        self.input_box = input_box
+        self.encoding = encoding or NetworkEncoding(network, input_box)
+        self.tol = float(tol)
+        self.node_limit = int(node_limit)
+
+    # ------------------------------------------------------------------ main
+    def maximize(self, c: np.ndarray,
+                 threshold: Optional[float] = None,
+                 initial_nodes: Optional[List[PhaseMap]] = None,
+                 collect_leaves: Optional[List[PhaseMap]] = None) -> BaBResult:
+        """Maximise ``c @ f(x)`` over the input box.
+
+        With ``threshold`` set, stops early once ``max <= threshold`` is
+        proved or refuted (see module docstring).
+
+        ``initial_nodes`` replaces the root with a caller-supplied list of
+        phase maps whose regions must jointly cover the search space -- the
+        warm-start mechanism of :mod:`repro.exact.incremental`.
+
+        ``collect_leaves`` (a caller-owned list) receives the phase map of
+        every region the search *settled* -- pruned, proven, refined to a
+        consistent LP, or still open at early termination.  Together these
+        leaves cover the entire space, so they form a reusable branching
+        certificate.
+        """
+        enc = self.encoding
+        tol = self.tol
+        objective = enc.output_objective(np.asarray(c, dtype=np.float64))
+        neg_obj = -objective  # linprog minimises
+
+        lp_solves = 0
+        nodes = 0
+        counter = itertools.count()
+        incumbent = -np.inf
+        witness: Optional[np.ndarray] = None
+
+        def record_leaf(phases: PhaseMap) -> None:
+            if collect_leaves is not None:
+                collect_leaves.append(dict(phases))
+
+        def solve_node(phases: PhaseMap):
+            nonlocal lp_solves
+            lp_solves += 1
+            system = enc.build_lp(phases)
+            return solve_lp(neg_obj, system.a_ub, system.b_ub,
+                            system.a_eq, system.b_eq, system.bounds)
+
+        def register_feasible(x_input: np.ndarray) -> None:
+            nonlocal incumbent, witness
+            x_clipped = self.input_box.clip_point(x_input)
+            value = float(np.dot(c, np.atleast_1d(self.network.forward(x_clipped))))
+            if value > incumbent:
+                incumbent = value
+                witness = x_clipped
+
+        # Max-heap on node upper bounds (negate for heapq).
+        heap: List[Tuple[float, int, PhaseMap, np.ndarray]] = []
+
+        def finish(status: str, bound: float) -> BaBResult:
+            # Whatever remains open is part of the covering certificate.
+            for _, __, phases, ___ in heap:
+                record_leaf(phases)
+            return BaBResult(status, bound, incumbent, witness, nodes, lp_solves)
+
+        starts: List[PhaseMap] = (
+            [dict(p) for p in initial_nodes] if initial_nodes else [{}]
+        )
+        any_feasible = False
+        for start in starts:
+            res = solve_node(start)
+            if res.status == LP_INFEASIBLE:
+                record_leaf(start)
+                continue
+            if res.status != LP_OPTIMAL:
+                raise SolverError(f"start LP ended with status {res.status}")
+            any_feasible = True
+            register_feasible(res.x[enc.input_slice])
+            heapq.heappush(heap, (res.value, next(counter), start, res.x))
+        if not any_feasible:
+            return BaBResult(BAB_INFEASIBLE, -np.inf, -np.inf, None,
+                             len(starts), lp_solves)
+
+        while heap:
+            neg_bound, _, phases, x_lp = heapq.heappop(heap)
+            bound = -neg_bound
+            global_bound = max(bound, incumbent)
+
+            if threshold is not None:
+                if incumbent > threshold + tol:
+                    record_leaf(phases)
+                    return finish(BAB_REFUTED, global_bound)
+                if global_bound <= threshold + tol:
+                    record_leaf(phases)
+                    return finish(BAB_PROVED, global_bound)
+            if bound <= incumbent + tol:
+                # The best remaining node cannot beat the incumbent: optimal.
+                record_leaf(phases)
+                return finish(BAB_OPTIMAL, max(incumbent, bound))
+
+            nodes += 1
+            if nodes > self.node_limit:
+                record_leaf(phases)
+                return finish(BAB_NODE_LIMIT, global_bound)
+
+            branch_var = self._most_violated(x_lp, phases)
+            if branch_var is None:
+                # LP solution is activation-consistent: bound is attained.
+                register_feasible(x_lp[enc.input_slice])
+                record_leaf(phases)
+                continue
+
+            for phase in (1, -1):
+                child: PhaseMap = dict(phases)
+                child[branch_var] = phase
+                res = solve_node(child)
+                if res.status != LP_OPTIMAL:
+                    record_leaf(child)
+                    continue
+                child_bound = -res.value
+                register_feasible(res.x[enc.input_slice])
+                if child_bound <= incumbent + tol:
+                    record_leaf(child)
+                    continue
+                heapq.heappush(heap, (-child_bound, next(counter), child, res.x))
+
+        return BaBResult(BAB_OPTIMAL, incumbent, incumbent, witness, nodes, lp_solves)
+
+    def _most_violated(self, x: np.ndarray,
+                       phases: PhaseMap) -> Optional[Tuple[int, int]]:
+        """The free unstable neuron whose LP values most violate a = act(z)."""
+        enc = self.encoding
+        worst: Optional[Tuple[int, int]] = None
+        worst_gap = self.tol
+        for k, block in enumerate(self.network.blocks()):
+            act = block.activation
+            if act is None:
+                continue
+            slope = getattr(act, "alpha", 0.0)
+            z = x[enc.z_slices[k]]
+            a = x[enc.a_slices[k]]
+            exact = np.where(z > 0, z, slope * z)
+            gaps = np.abs(a - exact)
+            for i in np.argsort(gaps)[::-1]:
+                gap = gaps[i]
+                if gap <= worst_gap:
+                    break
+                if (k, int(i)) in phases:
+                    continue
+                if enc.neuron_stability(k, int(i)) != "unstable":
+                    continue
+                worst = (k, int(i))
+                worst_gap = gap
+                break
+        return worst
+
+    def minimize(self, c: np.ndarray,
+                 threshold: Optional[float] = None) -> BaBResult:
+        """Minimise ``c @ f(x)``; thresholds mean ``min >= threshold``."""
+        neg_threshold = None if threshold is None else -float(threshold)
+        res = self.maximize(-np.asarray(c, dtype=np.float64), threshold=neg_threshold)
+        return BaBResult(
+            status=res.status,
+            upper_bound=-res.upper_bound,   # now a sound *lower* bound
+            incumbent=-res.incumbent,
+            witness=res.witness,
+            nodes=res.nodes,
+            lp_solves=res.lp_solves,
+        )
+
+
+def maximize_output(network: Network, input_box: Box, c: np.ndarray,
+                    threshold: Optional[float] = None,
+                    node_limit: int = 2000, tol: float = 1e-6) -> BaBResult:
+    """One-shot ``max c @ f(x)`` over ``input_box`` (see :class:`BaBSolver`)."""
+    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit)
+    return solver.maximize(c, threshold=threshold)
+
+
+def minimize_output(network: Network, input_box: Box, c: np.ndarray,
+                    threshold: Optional[float] = None,
+                    node_limit: int = 2000, tol: float = 1e-6) -> BaBResult:
+    """One-shot ``min c @ f(x)`` over ``input_box``."""
+    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit)
+    return solver.minimize(c, threshold=threshold)

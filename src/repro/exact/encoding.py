@@ -1,0 +1,299 @@
+"""LP / MILP encodings of piecewise-linear networks over a box domain.
+
+Implements the big-M encoding the paper cites ([12]-[14], Equation 2) plus
+the LP *triangle* relaxation used by the branch-and-bound solver.  One
+:class:`NetworkEncoding` owns the variable layout and the pre-activation
+bounds; callers ask it for constraint matrices, either
+
+* :meth:`NetworkEncoding.build_lp` -- an LP relaxation where each unstable
+  (leaky-)ReLU is replaced by its convex triangle hull, optionally with some
+  neuron phases *fixed* (the branching device of :mod:`repro.exact.bab`); or
+* :meth:`NetworkEncoding.build_milp` -- the exact mixed-integer encoding with
+  one binary indicator per unstable neuron (big-M style).
+
+Variable layout: input ``x`` first, then per block its pre-activation vector
+``z_k`` and (when the block has an activation) its post-activation ``a_k``.
+Binary indicators, when requested, are appended at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DomainError, UnsupportedLayerError
+from repro.domains.box import Box
+from repro.domains.symbolic import SymbolicPropagator
+from repro.nn.layers import LeakyReLU, ReLU
+from repro.nn.network import Network
+
+__all__ = ["PhaseMap", "LinearSystem", "NetworkEncoding"]
+
+#: Phase assignment for branching: ``{(block, neuron): +1 (active) | -1 (inactive)}``.
+PhaseMap = Dict[Tuple[int, int], int]
+
+
+@dataclass
+class LinearSystem:
+    """Constraint matrices in ``scipy.linprog`` form.
+
+    ``integer_mask`` marks binary variables (empty/All-False for pure LPs).
+    """
+
+    num_vars: int
+    a_ub: Optional[np.ndarray]
+    b_ub: Optional[np.ndarray]
+    a_eq: Optional[np.ndarray]
+    b_eq: Optional[np.ndarray]
+    bounds: List[Tuple[Optional[float], Optional[float]]]
+    integer_mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.integer_mask is None:
+            self.integer_mask = np.zeros(self.num_vars, dtype=bool)
+
+
+class _RowBuilder:
+    """Accumulates sparse-ish rows for one constraint group."""
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        self.rows: List[np.ndarray] = []
+        self.rhs: List[float] = []
+
+    def add(self, coeffs: Dict[int, float], rhs: float) -> None:
+        row = np.zeros(self.num_vars)
+        for idx, val in coeffs.items():
+            row[idx] += val
+        self.rows.append(row)
+        self.rhs.append(float(rhs))
+
+    def add_dense(self, row: np.ndarray, rhs: float) -> None:
+        self.rows.append(np.asarray(row, dtype=np.float64))
+        self.rhs.append(float(rhs))
+
+    def matrices(self) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        if not self.rows:
+            return None, None
+        return np.vstack(self.rows), np.asarray(self.rhs)
+
+
+class NetworkEncoding:
+    """Reusable encoding context for one ``(network, input_box)`` pair."""
+
+    def __init__(self, network: Network, input_box: Box,
+                 pre_boxes: Optional[Sequence[Box]] = None):
+        if input_box.dim != network.input_dim:
+            raise DomainError(
+                f"input box dim {input_box.dim} != network input {network.input_dim}"
+            )
+        self.network = network
+        self.input_box = input_box
+        for block in network.blocks():
+            act = block.activation
+            if act is not None and not isinstance(act, (ReLU, LeakyReLU)):
+                raise UnsupportedLayerError(
+                    f"exact encodings require piecewise-linear activations, "
+                    f"found {type(act).__name__}"
+                )
+        if pre_boxes is None:
+            pre_boxes = SymbolicPropagator().preactivation_boxes(network, input_box)
+        self.pre_boxes: List[Box] = list(pre_boxes)
+        if len(self.pre_boxes) != network.num_blocks:
+            raise DomainError("need one pre-activation box per block")
+        self._layout()
+
+    # ---------------------------------------------------------------- layout
+    def _layout(self) -> None:
+        net = self.network
+        self.input_slice = slice(0, net.input_dim)
+        cursor = net.input_dim
+        self.z_slices: List[slice] = []
+        self.a_slices: List[slice] = []
+        for block in net.blocks():
+            d = block.out_dim
+            self.z_slices.append(slice(cursor, cursor + d))
+            cursor += d
+            if block.activation is not None:
+                self.a_slices.append(slice(cursor, cursor + d))
+                cursor += d
+            else:
+                # Linear block: post-activation is the pre-activation.
+                self.a_slices.append(self.z_slices[-1])
+        self.num_continuous = cursor
+
+    @property
+    def output_slice(self) -> slice:
+        """Variables holding the network output."""
+        return self.a_slices[-1]
+
+    def output_objective(self, c: np.ndarray, num_vars: Optional[int] = None) -> np.ndarray:
+        """Dense objective vector selecting ``c @ output``."""
+        c = np.asarray(c, dtype=np.float64).reshape(-1)
+        out = self.output_slice
+        if c.size != out.stop - out.start:
+            raise DomainError(
+                f"objective dim {c.size} != output dim {out.stop - out.start}"
+            )
+        vec = np.zeros(num_vars if num_vars is not None else self.num_continuous)
+        vec[out] = c
+        return vec
+
+    # ----------------------------------------------------------- neuron info
+    def neuron_stability(self, block: int, neuron: int) -> str:
+        """``"active"``, ``"inactive"`` or ``"unstable"`` from static bounds."""
+        l = self.pre_boxes[block].lower[neuron]
+        u = self.pre_boxes[block].upper[neuron]
+        if l >= 0.0:
+            return "active"
+        if u <= 0.0:
+            return "inactive"
+        return "unstable"
+
+    def unstable_neurons(self) -> List[Tuple[int, int]]:
+        """All statically-unstable ``(block, neuron)`` pairs with activations."""
+        pairs = []
+        for k, block in enumerate(self.network.blocks()):
+            if block.activation is None:
+                continue
+            for i in range(block.out_dim):
+                if self.neuron_stability(k, i) == "unstable":
+                    pairs.append((k, i))
+        return pairs
+
+    # ------------------------------------------------------------- LP builder
+    def build_lp(self, fixed_phases: Optional[PhaseMap] = None) -> LinearSystem:
+        """Triangle-relaxation LP of the network.
+
+        ``fixed_phases`` forces unstable neurons into one linear piece,
+        adding the corresponding sign constraint on the pre-activation --
+        exactly the branching step of ReLU branch-and-bound.  The LP is a
+        sound relaxation: every real execution of the network (consistent
+        with the fixed phases) satisfies all constraints.
+        """
+        fixed_phases = fixed_phases or {}
+        n = self.num_continuous
+        ub = _RowBuilder(n)
+        eq = _RowBuilder(n)
+        bounds: List[Tuple[Optional[float], Optional[float]]] = [(None, None)] * n
+        box = self.input_box
+        for i in range(box.dim):
+            bounds[i] = (float(box.lower[i]), float(box.upper[i]))
+
+        prev_a = self.input_slice
+        for k, block in enumerate(self.network.blocks()):
+            w, b = block.dense.weight, block.dense.bias
+            z_sl, a_sl = self.z_slices[k], self.a_slices[k]
+            # z_k = W a_{k-1} + b
+            for i in range(block.out_dim):
+                row = np.zeros(n)
+                row[z_sl.start + i] = 1.0
+                row[prev_a] = -w[i]
+                eq.add_dense(row, b[i])
+            act = block.activation
+            if act is not None:
+                slope = 0.0 if isinstance(act, ReLU) else act.alpha
+                self._encode_activation_lp(
+                    k, slope, fixed_phases, ub, eq, bounds, z_sl, a_sl
+                )
+            prev_a = a_sl
+
+        a_ub, b_ub = ub.matrices()
+        a_eq, b_eq = eq.matrices()
+        return LinearSystem(n, a_ub, b_ub, a_eq, b_eq, bounds)
+
+    def _encode_activation_lp(self, k: int, slope: float,
+                              fixed_phases: PhaseMap,
+                              ub: _RowBuilder, eq: _RowBuilder,
+                              bounds, z_sl: slice, a_sl: slice) -> None:
+        pre = self.pre_boxes[k]
+        for i in range(z_sl.stop - z_sl.start):
+            zi, ai = z_sl.start + i, a_sl.start + i
+            l, u = float(pre.lower[i]), float(pre.upper[i])
+            phase = fixed_phases.get((k, i))
+            stability = self.neuron_stability(k, i)
+            if phase == 1 or stability == "active":
+                # a = z, and when forced, z >= 0.
+                eq.add({ai: 1.0, zi: -1.0}, 0.0)
+                if phase == 1 and stability == "unstable":
+                    ub.add({zi: -1.0}, 0.0)  # -z <= 0
+            elif phase == -1 or stability == "inactive":
+                # a = slope * z, and when forced, z <= 0.
+                eq.add({ai: 1.0, zi: -slope}, 0.0)
+                if phase == -1 and stability == "unstable":
+                    ub.add({zi: 1.0}, 0.0)  # z <= 0
+            else:
+                # Triangle relaxation: a >= z, a >= slope*z,
+                # a <= lam*(z - l) + slope*l with lam = (u - slope*l)/(u - l).
+                lam = (u - slope * l) / (u - l)
+                ub.add({zi: 1.0, ai: -1.0}, 0.0)        # z - a <= 0
+                ub.add({zi: slope, ai: -1.0}, 0.0)      # slope*z - a <= 0
+                ub.add({ai: 1.0, zi: -lam}, slope * l - lam * l)
+                bounds[ai] = (min(0.0, slope * l), max(u, 0.0))
+
+    # ----------------------------------------------------------- MILP builder
+    def build_milp(self) -> LinearSystem:
+        """Exact big-M MILP encoding (one binary per unstable neuron).
+
+        For an unstable ReLU neuron with pre-activation bounds ``[l, u]``::
+
+            a >= z,  a >= slope*z,
+            a <= slope*z + (1 - slope)*u*delta,
+            a <= z - (1 - slope)*l*(1 - delta),       delta in {0, 1}
+
+        ``delta = 1`` forces the active piece (``a = z``), ``delta = 0`` the
+        negative-side piece (``a = slope*z``) -- the classic big-M encoding
+        of the paper's Equation 2 with ``l``/``u`` as the big-M constants.
+        """
+        unstable = self.unstable_neurons()
+        n = self.num_continuous + len(unstable)
+        delta_index = {pair: self.num_continuous + j for j, pair in enumerate(unstable)}
+
+        ub = _RowBuilder(n)
+        eq = _RowBuilder(n)
+        bounds: List[Tuple[Optional[float], Optional[float]]] = [(None, None)] * n
+        box = self.input_box
+        for i in range(box.dim):
+            bounds[i] = (float(box.lower[i]), float(box.upper[i]))
+        for pair, di in delta_index.items():
+            bounds[di] = (0.0, 1.0)
+
+        prev_a = self.input_slice
+        for k, block in enumerate(self.network.blocks()):
+            w, b = block.dense.weight, block.dense.bias
+            z_sl, a_sl = self.z_slices[k], self.a_slices[k]
+            for i in range(block.out_dim):
+                row = np.zeros(n)
+                row[z_sl.start + i] = 1.0
+                row[prev_a] = -w[i]
+                eq.add_dense(row, b[i])
+            act = block.activation
+            if act is not None:
+                slope = 0.0 if isinstance(act, ReLU) else act.alpha
+                pre = self.pre_boxes[k]
+                for i in range(block.out_dim):
+                    zi, ai = z_sl.start + i, a_sl.start + i
+                    l, u = float(pre.lower[i]), float(pre.upper[i])
+                    stability = self.neuron_stability(k, i)
+                    if stability == "active":
+                        eq.add({ai: 1.0, zi: -1.0}, 0.0)
+                    elif stability == "inactive":
+                        eq.add({ai: 1.0, zi: -slope}, 0.0)
+                    else:
+                        di = delta_index[(k, i)]
+                        ub.add({zi: 1.0, ai: -1.0}, 0.0)
+                        ub.add({zi: slope, ai: -1.0}, 0.0)
+                        ub.add({ai: 1.0, zi: -slope, di: -(1 - slope) * u}, 0.0)
+                        ub.add({ai: 1.0, zi: -1.0, di: -(1 - slope) * l},
+                               -(1 - slope) * l)
+                        bounds[ai] = (min(0.0, slope * l), max(u, 0.0))
+            prev_a = a_sl
+
+        a_ub, b_ub = ub.matrices()
+        a_eq, b_eq = eq.matrices()
+        integer_mask = np.zeros(n, dtype=bool)
+        for di in delta_index.values():
+            integer_mask[di] = True
+        return LinearSystem(n, a_ub, b_ub, a_eq, b_eq, bounds, integer_mask)

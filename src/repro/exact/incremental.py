@@ -1,0 +1,109 @@
+"""Solver-level proof reuse: warm-starting branch and bound across versions.
+
+Section VI of the paper asks "how exact solvers based on MILP or SMT can be
+engineered to enable proof reuse".  This module implements the natural
+answer for ReLU branch and bound: the *branching certificate*.
+
+When a threshold proof completes, the set of settled leaves -- each a
+partial phase assignment -- jointly covers the whole input region.  For the
+*modified* problem (fine-tuned weights and/or enlarged domain, same
+architecture), each leaf's LP can simply be re-solved under the new
+encoding:
+
+* if every leaf's relaxation stays below the threshold, the new property is
+  proved immediately -- the expensive part of the search (discovering which
+  neurons to branch on) is fully reused;
+* leaves that no longer close seed a fresh search *from that leaf only*,
+  so work is proportional to how much the problem actually changed.
+
+Soundness: phase constraints are region restrictions (``z >= 0`` /
+``z <= 0``), so they transfer verbatim to any network with the same block
+shapes; a covering set of regions for the old problem covers the new one
+too (the input box may even grow -- each leaf's LP is re-built over the new
+box).  The same idea is why the paper observes that MILP *cuts* do NOT
+transfer under domain enlargement: a cut is a consequence of the old
+feasible set, while a branching decision is a partition -- partitions
+survive, consequences do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ArtifactError
+from repro.domains.box import Box
+from repro.exact.bab import BaBResult, BaBSolver
+from repro.exact.encoding import PhaseMap
+from repro.nn.network import Network
+
+__all__ = ["BranchCertificate", "prove_with_certificate", "certify_threshold"]
+
+
+@dataclass
+class BranchCertificate:
+    """A covering set of settled branch-and-bound leaves.
+
+    ``block_dims`` pins the architecture the phase maps refer to;
+    ``threshold`` and ``objective`` record what was proved.
+    """
+
+    objective: np.ndarray
+    threshold: float
+    leaves: List[PhaseMap] = field(default_factory=list)
+    block_dims: List[int] = field(default_factory=list)
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self.leaves)
+
+    def compatible_with(self, network: Network) -> bool:
+        return network.block_dims() == self.block_dims
+
+
+def certify_threshold(network: Network, input_box: Box, c: np.ndarray,
+                      threshold: float,
+                      node_limit: int = 20000,
+                      tol: float = 1e-6) -> tuple:
+    """Prove ``max c @ f(x) <= threshold`` and keep the branching certificate.
+
+    Returns ``(BaBResult, BranchCertificate | None)`` -- the certificate is
+    ``None`` unless the proof succeeded.
+    """
+    solver = BaBSolver(network, input_box, node_limit=node_limit, tol=tol)
+    leaves: List[PhaseMap] = []
+    result = solver.maximize(np.asarray(c, dtype=np.float64),
+                             threshold=threshold, collect_leaves=leaves)
+    if result.status not in ("threshold_proved", "optimal") or \
+            result.upper_bound > threshold + tol:
+        return result, None
+    certificate = BranchCertificate(
+        objective=np.asarray(c, dtype=np.float64).copy(),
+        threshold=float(threshold),
+        leaves=leaves,
+        block_dims=network.block_dims(),
+    )
+    return result, certificate
+
+
+def prove_with_certificate(network: Network, input_box: Box,
+                           certificate: BranchCertificate,
+                           threshold: Optional[float] = None,
+                           node_limit: int = 20000,
+                           tol: float = 1e-6) -> BaBResult:
+    """Re-prove the threshold on a *modified* problem, warm-started from the
+    certificate's leaves.
+
+    ``network`` may be a fine-tuned version (same block shapes) and
+    ``input_box`` an enlarged domain.  ``threshold`` defaults to the
+    certified one.
+    """
+    if not certificate.compatible_with(network):
+        raise ArtifactError(
+            "branch certificate was built for a different architecture")
+    threshold = certificate.threshold if threshold is None else float(threshold)
+    solver = BaBSolver(network, input_box, node_limit=node_limit, tol=tol)
+    return solver.maximize(certificate.objective, threshold=threshold,
+                           initial_nodes=certificate.leaves)

@@ -1,0 +1,73 @@
+"""Thin wrapper around ``scipy.optimize.linprog`` (HiGHS backend).
+
+Normalises the solver interface the rest of :mod:`repro.exact` builds on:
+explicit statuses, consistent ``None`` handling for absent constraint
+groups, and a :class:`SolverError` for genuine backend failures (as opposed
+to the ordinary *infeasible* / *unbounded* verdicts, which are results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+
+__all__ = ["LPResult", "solve_lp", "LP_OPTIMAL", "LP_INFEASIBLE", "LP_UNBOUNDED"]
+
+LP_OPTIMAL = "optimal"
+LP_INFEASIBLE = "infeasible"
+LP_UNBOUNDED = "unbounded"
+
+_STATUS_MAP = {0: LP_OPTIMAL, 2: LP_INFEASIBLE, 3: LP_UNBOUNDED}
+
+
+@dataclass
+class LPResult:
+    """Outcome of one LP solve.
+
+    ``value`` and ``x`` are only meaningful when ``status == LP_OPTIMAL``.
+    """
+
+    status: str
+    value: float
+    x: Optional[np.ndarray]
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == LP_OPTIMAL
+
+
+def solve_lp(c: np.ndarray,
+             a_ub: Optional[np.ndarray] = None,
+             b_ub: Optional[np.ndarray] = None,
+             a_eq: Optional[np.ndarray] = None,
+             b_eq: Optional[np.ndarray] = None,
+             bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+             ) -> LPResult:
+    """Minimise ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``
+    and variable ``bounds`` (default: free variables).
+
+    Raises :class:`SolverError` if HiGHS reports a numerical failure or an
+    iteration/time limit -- conditions a verification result must never be
+    silently built on.
+    """
+    c = np.asarray(c, dtype=np.float64)
+    if bounds is None:
+        bounds = [(None, None)] * c.size
+    res = linprog(
+        c,
+        A_ub=a_ub, b_ub=b_ub,
+        A_eq=a_eq, b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _STATUS_MAP.get(res.status)
+    if status is None:
+        raise SolverError(f"linprog failed: status={res.status} message={res.message!r}")
+    if status == LP_OPTIMAL:
+        return LPResult(status=status, value=float(res.fun), x=np.asarray(res.x))
+    return LPResult(status=status, value=float("nan"), x=None)

@@ -1,0 +1,103 @@
+"""ReluVal-style input splitting: iterative refinement of symbolic intervals.
+
+The paper's evaluation derives its state abstractions with ReluVal, whose
+core loop this module reproduces: propagate symbolic intervals over the
+input box; if the output over-approximation violates the target, bisect the
+widest input dimension and recurse, looking for concrete counterexamples
+along the way.  The procedure is sound always, and complete in the limit for
+properties violated on open sets; a work budget turns the remaining cases
+into an explicit ``"unknown"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.domains.box import Box
+from repro.domains.symbolic import SymbolicPropagator
+from repro.nn.network import Network
+
+__all__ = ["SplitResult", "check_containment_split"]
+
+SPLIT_SAFE = "safe"
+SPLIT_UNSAFE = "unsafe"
+SPLIT_UNKNOWN = "unknown"
+
+
+@dataclass
+class SplitResult:
+    """Verdict of the splitting procedure.
+
+    ``counterexample`` is a concrete input violating the property when
+    ``status == "unsafe"``.  ``boxes_processed`` counts symbolic propagations
+    (the work measure used by the benchmarks).
+    """
+
+    status: str
+    counterexample: Optional[np.ndarray]
+    boxes_processed: int
+    max_depth_reached: int
+
+    @property
+    def safe(self) -> bool:
+        return self.status == SPLIT_SAFE
+
+
+def _concrete_violation(network: Network, box: Box, target: Box,
+                        samples: int, rng: np.random.Generator) -> Optional[np.ndarray]:
+    """Probe box center + a few uniform samples for a real violation."""
+    candidates = [box.center]
+    if samples > 0:
+        candidates.append(box.sample(samples, rng))
+    points = np.vstack([np.atleast_2d(p) for p in candidates])
+    outputs = np.atleast_2d(network.forward(points))
+    for x, y in zip(points, outputs):
+        if not target.contains_point(y):
+            return x
+    return None
+
+
+def check_containment_split(network: Network, input_box: Box, target: Box,
+                            max_boxes: int = 2000,
+                            max_depth: int = 30,
+                            probe_samples: int = 4,
+                            seed: int = 0) -> SplitResult:
+    """Check ``∀x ∈ input_box : f(x) ∈ target`` by symbolic + bisection.
+
+    Returns ``safe`` when every leaf box's symbolic output is contained in
+    ``target``; ``unsafe`` with a witness when a concrete violation is found;
+    ``unknown`` when the work budget is exhausted first.
+    """
+    propagator = SymbolicPropagator()
+    rng = np.random.default_rng(seed)
+    stack: List[Tuple[Box, int]] = [(input_box, 0)]
+    processed = 0
+    deepest = 0
+    exhausted = False
+
+    while stack:
+        box, depth = stack.pop()
+        deepest = max(deepest, depth)
+        processed += 1
+        if processed > max_boxes:
+            exhausted = True
+            break
+        out = propagator.propagate(network, box)[-1]
+        if target.contains_box(out):
+            continue
+        witness = _concrete_violation(network, box, target, probe_samples, rng)
+        if witness is not None:
+            return SplitResult(SPLIT_UNSAFE, witness, processed, deepest)
+        if depth >= max_depth or np.max(box.widths) <= 1e-12:
+            exhausted = True
+            continue
+        left, right = box.split()
+        stack.append((left, depth + 1))
+        stack.append((right, depth + 1))
+
+    if exhausted:
+        return SplitResult(SPLIT_UNKNOWN, None, processed, deepest)
+    return SplitResult(SPLIT_SAFE, None, processed, deepest)

@@ -1,0 +1,21 @@
+"""Lipschitz-constant estimation: global product bounds and local Fast-Lip."""
+
+from repro.lipschitz.norms import operator_norm, spectral_norm
+from repro.lipschitz.bounds import (
+    LayerLipschitz,
+    empirical_lipschitz,
+    global_lipschitz_bound,
+    layer_lipschitz_bounds,
+)
+from repro.lipschitz.fastlip import interval_jacobian, local_lipschitz_bound
+
+__all__ = [
+    "LayerLipschitz",
+    "empirical_lipschitz",
+    "global_lipschitz_bound",
+    "interval_jacobian",
+    "layer_lipschitz_bounds",
+    "local_lipschitz_bound",
+    "operator_norm",
+    "spectral_norm",
+]

@@ -1,0 +1,6 @@
+"""Runtime monitoring: feature-space box monitor and enlargement events."""
+
+from repro.monitor.boxmonitor import BoxMonitor
+from repro.monitor.events import EnlargementEvent, summarize_events
+
+__all__ = ["BoxMonitor", "EnlargementEvent", "summarize_events"]

@@ -1,0 +1,130 @@
+"""Abstraction-based runtime monitoring of feature-layer values.
+
+Reproduces the monitoring setup of the paper's experiment (Section V) and
+its citations [1], [2]: record, over the training/validation data, the
+per-neuron min/max of a designated layer (the output of ``Flatten`` in
+Fig. 4) plus an additional buffer -- that box is the verified input domain
+``Din``.  In operation every frame's feature vector is checked against the
+box; out-of-bound observations are logged and accumulated into the enlarged
+domain ``Din ∪ Δin`` that triggers the next (incremental) verification task.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MonitorError
+from repro.domains.box import Box
+from repro.monitor.events import EnlargementEvent
+
+__all__ = ["BoxMonitor"]
+
+
+class BoxMonitor:
+    """Per-dimension min/max monitor over a feature space."""
+
+    def __init__(self, buffer: float = 0.0,
+                 lower_floor: Optional[float] = None):
+        """``buffer`` inflates the recorded bounds on every side;
+        ``lower_floor`` clamps the lower bounds from below -- set it to 0.0
+        when monitoring post-ReLU features, whose true domain is known to be
+        non-negative (keeping ``Din`` inside that domain preserves the
+        properties downstream analyses rely on, e.g. network-abstraction
+        merging of the first layer)."""
+        if buffer < 0:
+            raise MonitorError(f"buffer must be non-negative, got {buffer}")
+        self.buffer = float(buffer)
+        self.lower_floor = None if lower_floor is None else float(lower_floor)
+        self._din: Optional[Box] = None
+        self._observed_low: Optional[np.ndarray] = None
+        self._observed_high: Optional[np.ndarray] = None
+        self.events: List[EnlargementEvent] = []
+        self._step = 0
+
+    # ------------------------------------------------------------ calibration
+    def calibrate(self, features: np.ndarray) -> Box:
+        """Fit ``Din`` from in-distribution feature vectors ``(N, d)``.
+
+        The recorded box is the observed min/max per neuron, inflated by the
+        configured ``buffer`` (the paper's "additional buffers").
+        """
+        box = Box.from_samples(features, buffer=self.buffer)
+        box = self._apply_floor(box)
+        self._din = box
+        self._observed_low = box.lower.copy()
+        self._observed_high = box.upper.copy()
+        self.events.clear()
+        self._step = 0
+        return box
+
+    @property
+    def din(self) -> Box:
+        """The calibrated input domain."""
+        if self._din is None:
+            raise MonitorError("monitor not calibrated; call calibrate() first")
+        return self._din
+
+    # -------------------------------------------------------------- operation
+    def observe(self, feature: np.ndarray) -> bool:
+        """Process one feature vector; returns ``True`` when in-bounds.
+
+        Out-of-bound observations extend the running enlargement record and
+        append an :class:`EnlargementEvent`.
+        """
+        din = self.din
+        x = np.asarray(feature, dtype=np.float64).reshape(-1)
+        if x.size != din.dim:
+            raise MonitorError(f"feature dim {x.size} != monitored dim {din.dim}")
+        self._step += 1
+        inside = din.contains_point(x, tol=0.0)
+        if not inside:
+            excess = float(np.max(np.maximum(din.lower - x, x - din.upper)))
+            dims = np.flatnonzero((x < din.lower) | (x > din.upper))
+            self.events.append(EnlargementEvent(
+                step=self._step, excess=excess, dimensions=dims.tolist()))
+            self._observed_low = np.minimum(self._observed_low, x)
+            self._observed_high = np.maximum(self._observed_high, x)
+        return inside
+
+    def observe_batch(self, features: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`observe`; returns the per-row in-bound mask."""
+        arr = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.array([self.observe(row) for row in arr])
+
+    # ---------------------------------------------------------------- results
+    @property
+    def out_of_bound_count(self) -> int:
+        return len(self.events)
+
+    def enlarged_box(self, buffer: Optional[float] = None) -> Box:
+        """``Din ∪ Δin``: the calibrated box joined with every out-of-bound
+        observation (optionally re-buffered) -- the input domain of the next
+        verification problem."""
+        din = self.din
+        if self._observed_low is None:
+            return din
+        extra = self.buffer if buffer is None else float(buffer)
+        observed = Box(self._observed_low, self._observed_high)
+        if self.out_of_bound_count:
+            observed = self._apply_floor(observed.inflate(extra))
+        return din.union(observed)
+
+    def _apply_floor(self, box: Box) -> Box:
+        if self.lower_floor is None:
+            return box
+        lower = np.maximum(box.lower, self.lower_floor)
+        return Box(lower, np.maximum(box.upper, lower))
+
+    def delta_box(self) -> Optional[Box]:
+        """Bounding box of the enlargement alone (``None`` if no events)."""
+        if not self.out_of_bound_count:
+            return None
+        return self.enlarged_box()
+
+    def kappa(self, ord: float = 2) -> float:
+        """Proposition 3's ``κ`` between ``Din`` and the enlarged domain."""
+        from repro.domains.box import box_kappa
+
+        return box_kappa(self.din, self.enlarged_box(), ord=ord)

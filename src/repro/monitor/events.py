@@ -1,0 +1,35 @@
+"""Event records produced by the runtime monitor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["EnlargementEvent", "summarize_events"]
+
+
+@dataclass
+class EnlargementEvent:
+    """One out-of-bound observation.
+
+    ``excess`` is how far (in feature units) the worst dimension escaped the
+    calibrated box; ``dimensions`` lists the offending feature indices.
+    """
+
+    step: int
+    excess: float
+    dimensions: List[int] = field(default_factory=list)
+
+
+def summarize_events(events: List[EnlargementEvent]) -> dict:
+    """Aggregate statistics used by reports and the monitor benchmark."""
+    if not events:
+        return {"count": 0, "max_excess": 0.0, "dimensions_touched": 0}
+    touched = set()
+    for event in events:
+        touched.update(event.dimensions)
+    return {
+        "count": len(events),
+        "max_excess": max(event.excess for event in events),
+        "dimensions_touched": len(touched),
+    }

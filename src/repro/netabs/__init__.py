@@ -1,0 +1,48 @@
+"""Network abstraction (Elboher/Gottschlich/Katz CAV'20 style)."""
+
+from repro.netabs.classify import (
+    DEC,
+    INC,
+    BlockSplit,
+    SplitStructure,
+    apply_split,
+    categorize_split,
+)
+from repro.netabs.merge import (
+    LOWER,
+    UPPER,
+    LayerGrouping,
+    MergePlan,
+    MergedWeights,
+    group_reduce,
+    make_merge_plan,
+    merge_weights,
+)
+from repro.netabs.abstraction import (
+    AbstractionCheck,
+    NetworkAbstraction,
+    build_abstraction,
+)
+from repro.netabs.refine import RefinementResult, verify_with_refinement
+
+__all__ = [
+    "AbstractionCheck",
+    "BlockSplit",
+    "DEC",
+    "INC",
+    "LOWER",
+    "LayerGrouping",
+    "MergePlan",
+    "MergedWeights",
+    "NetworkAbstraction",
+    "RefinementResult",
+    "SplitStructure",
+    "UPPER",
+    "apply_split",
+    "build_abstraction",
+    "categorize_split",
+    "group_reduce",
+    "make_merge_plan",
+    "merge_weights",
+    "verify_with_refinement",
+]

@@ -1,0 +1,153 @@
+"""Categorised splitting: the first phase of network abstraction.
+
+Following Elboher, Gottschlich & Katz (CAV 2020), every hidden neuron of a
+single-output ReLU network is split into copies with a definite *effect* on
+the output: **INC** (increasing the neuron's value can only increase the
+output) or **DEC** (can only decrease it).  Splitting is function-preserving:
+a neuron whose outgoing edges pull in both directions becomes two copies,
+each keeping only the edges of one effect sign (the other entries zeroed).
+
+The split is recorded *structurally* -- per block, the row/column origin
+maps into the unsplit network plus the kept-edge mask -- so the identical
+split can later be re-applied to a fine-tuned network ``f'`` when checking
+``f' --Din--> f̂`` (Proposition 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ArtifactError, UnsupportedLayerError
+from repro.nn.layers import ReLU
+from repro.nn.network import Network
+
+__all__ = ["INC", "DEC", "BlockSplit", "SplitStructure", "categorize_split",
+           "apply_split"]
+
+INC = 1    # increasing the neuron increases the network output
+DEC = -1   # increasing the neuron decreases the network output
+
+
+@dataclass
+class BlockSplit:
+    """Split recipe for one block's weight matrix.
+
+    ``W_split = W[row_orig][:, col_orig] * mask`` and
+    ``b_split = b[row_orig]``, where ``row_orig`` maps split output neurons
+    to original ones and ``col_orig`` does the same for inputs (identity on
+    the network input for block 0).
+    """
+
+    row_orig: np.ndarray   # (d_out_split,)  int
+    col_orig: np.ndarray   # (d_in_split,)   int
+    mask: np.ndarray       # (d_out_split, d_in_split) {0,1}
+    row_cat: np.ndarray    # (d_out_split,)  INC/DEC of the output neurons
+
+
+@dataclass
+class SplitStructure:
+    """The full categorised split of a network (one recipe per block)."""
+
+    blocks: List[BlockSplit]
+
+    def layer_categories(self, k: int) -> np.ndarray:
+        """Categories of block ``k``'s (split) output neurons."""
+        return self.blocks[k].row_cat
+
+
+def _validate_for_abstraction(network: Network) -> None:
+    if network.output_dim != 1:
+        raise UnsupportedLayerError(
+            "network abstraction requires a single-output network "
+            f"(got output dim {network.output_dim})"
+        )
+    blocks = network.blocks()
+    for k, block in enumerate(blocks[:-1]):
+        if not isinstance(block.activation, ReLU):
+            raise UnsupportedLayerError(
+                f"network abstraction requires ReLU hidden blocks; block {k} "
+                f"has {type(block.activation).__name__ if block.activation else 'no'}"
+                " activation"
+            )
+    if blocks[-1].activation is not None:
+        raise UnsupportedLayerError(
+            "network abstraction requires a linear output block"
+        )
+
+
+def categorize_split(network: Network) -> SplitStructure:
+    """Compute the categorised split structure of ``network``.
+
+    Works backward from the single output (category INC by convention --
+    the abstraction *directions* are chosen later by the merge rules), at
+    each boundary assigning source copies so that every kept edge satisfies
+    ``sign(w) = cat(source) * cat(target)``.
+    """
+    _validate_for_abstraction(network)
+    blocks = network.blocks()
+    n = len(blocks)
+
+    specs: List[BlockSplit] = [None] * n  # type: ignore[list-item]
+    # Current split of the boundary *after* block k (start: the output).
+    row_orig = np.array([0], dtype=int)
+    row_cat = np.array([INC], dtype=int)
+
+    for k in range(n - 1, -1, -1):
+        w = blocks[k].dense.weight
+        d_in = w.shape[1]
+        if k == 0:
+            col_orig = np.arange(d_in)
+            mask = np.ones((row_orig.size, d_in))
+            specs[0] = BlockSplit(row_orig, col_orig, mask, row_cat)
+            break
+        # Decide the split of the source layer (outputs of block k-1).
+        w_rows = w[row_orig]  # (d_out_split, d_in) in original input indexing
+        effect = np.sign(w_rows) * row_cat[:, None]  # per-edge output effect
+        col_entries = []  # (orig_j, category, edge_keep_bool_per_row)
+        for j in range(d_in):
+            col_eff = effect[:, j]
+            has_pos = bool(np.any(col_eff > 0))
+            has_neg = bool(np.any(col_eff < 0))
+            if has_pos and has_neg:
+                col_entries.append((j, INC, col_eff > 0))
+                col_entries.append((j, DEC, col_eff < 0))
+            elif has_neg:
+                col_entries.append((j, DEC, np.ones(row_orig.size, dtype=bool)))
+            else:
+                # All-positive or all-zero edges: an INC copy keeps them all.
+                col_entries.append((j, INC, np.ones(row_orig.size, dtype=bool)))
+        col_orig = np.array([e[0] for e in col_entries], dtype=int)
+        col_cat = np.array([e[1] for e in col_entries], dtype=int)
+        mask = np.stack([e[2] for e in col_entries], axis=1).astype(float)
+        specs[k] = BlockSplit(row_orig, col_orig, mask, row_cat)
+        row_orig, row_cat = col_orig, col_cat
+
+    return SplitStructure(blocks=specs)
+
+
+def apply_split(network: Network, structure: SplitStructure):
+    """Materialise the split weights of ``network`` under ``structure``.
+
+    Returns ``(weights, biases)`` lists, one entry per block, in split
+    indexing.  Raising :class:`ArtifactError` on architecture mismatch makes
+    this safe to call with a *fine-tuned* network when re-checking the
+    abstraction relation.
+    """
+    blocks = network.blocks()
+    if len(blocks) != len(structure.blocks):
+        raise ArtifactError(
+            f"split structure has {len(structure.blocks)} blocks, "
+            f"network has {len(blocks)}"
+        )
+    weights, biases = [], []
+    for k, (block, spec) in enumerate(zip(blocks, structure.blocks)):
+        w, b = block.dense.weight, block.dense.bias
+        if spec.row_orig.max(initial=-1) >= w.shape[0] or \
+           spec.col_orig.max(initial=-1) >= w.shape[1]:
+            raise ArtifactError(f"block {k} shape changed; split not applicable")
+        weights.append(w[spec.row_orig][:, spec.col_orig] * spec.mask)
+        biases.append(b[spec.row_orig])
+    return weights, biases

@@ -1,0 +1,190 @@
+"""Merging: the second phase of network abstraction.
+
+Neurons of the categorised split with the same category are merged, layer by
+layer, with the saturation rules of Elboher et al.:
+
+* a group that must be **over-approximated** takes the elementwise **max**
+  of its members' incoming weights and biases;
+* a group that must be **under-approximated** takes the **min**;
+* a target's incoming weight from a merged source group is computed on the
+  group-summed columns (equivalently: outgoing weights of a group are the
+  sums of its members' outgoing weights).
+
+Which rule applies depends on the abstraction *direction*: the **upper**
+network over-approximates the output (INC groups take max, DEC take min);
+the **lower** network mirrors it.  An optional ``margin`` widens the stored
+weights so that small fine-tuning of the concrete network stays inside the
+abstraction -- the mechanism that makes Proposition 6 reusable in the
+continuous-engineering loop.
+
+Soundness requires the inputs of a merged layer to be non-negative; that is
+automatic for layers fed by ReLU outputs and holds for the first hidden
+layer iff the input domain is non-negative (checked by the caller, who
+passes ``merge_first_layer`` accordingly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ArtifactError
+from repro.netabs.classify import DEC, INC, SplitStructure
+
+__all__ = ["UPPER", "LOWER", "LayerGrouping", "MergePlan", "MergedWeights",
+           "make_merge_plan", "merge_weights", "group_reduce"]
+
+UPPER = "upper"
+LOWER = "lower"
+
+
+@dataclass
+class LayerGrouping:
+    """Partition of one split layer's neurons into merge groups.
+
+    ``assignment[j]`` is the group index of split neuron ``j``;
+    ``group_cat[g]`` the (shared) category of group ``g``.
+    """
+
+    assignment: np.ndarray
+    group_cat: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        return self.group_cat.size
+
+
+@dataclass
+class MergePlan:
+    """Groupings for every block boundary (entry ``k`` groups the outputs of
+    block ``k``; the final boundary -- the network output -- is always
+    singleton groups)."""
+
+    groupings: List[LayerGrouping]
+    direction: str
+    margin: float
+
+
+@dataclass
+class MergedWeights:
+    """The abstract network's parameters plus the rule bookkeeping."""
+
+    weights: List[np.ndarray]
+    biases: List[np.ndarray]
+    #: per boundary: +1 where the group rule is max, -1 where it is min
+    rule_sign: List[np.ndarray]
+
+
+def _rule_signs(categories: np.ndarray, direction: str) -> np.ndarray:
+    """+1 (max rule / over-approximate) or -1 (min rule) per group."""
+    if direction == UPPER:
+        return np.where(categories == INC, 1, -1)
+    if direction == LOWER:
+        return np.where(categories == INC, -1, 1)
+    raise ArtifactError(f"unknown abstraction direction {direction!r}")
+
+
+def make_merge_plan(structure: SplitStructure, direction: str,
+                    num_groups: int, margin: float,
+                    split_weights: Sequence[np.ndarray],
+                    merge_first_layer: bool) -> MergePlan:
+    """Partition each hidden layer into at most ``num_groups`` groups per
+    category (INC and DEC separately, so a layer shrinks to <= 2*num_groups
+    neurons).
+
+    Grouping heuristic: within a category, neurons are ordered by the norm
+    of their incoming split-weight rows and chunked into equally-sized
+    groups -- deterministic, and neighbours in that order tend to have
+    comparable magnitudes, keeping the max/min envelopes tight.
+    """
+    if num_groups < 1:
+        raise ArtifactError(f"num_groups must be >= 1, got {num_groups}")
+    groupings: List[LayerGrouping] = []
+    n = len(structure.blocks)
+    for k in range(n):
+        cats = structure.blocks[k].row_cat
+        d = cats.size
+        last = k == n - 1
+        mergeable = not last and (k > 0 or merge_first_layer)
+        if not mergeable:
+            groupings.append(LayerGrouping(
+                assignment=np.arange(d), group_cat=cats.copy()))
+            continue
+        row_norms = np.linalg.norm(split_weights[k], axis=1)
+        assignment = np.full(d, -1, dtype=int)
+        group_cat: List[int] = []
+        for cat in (INC, DEC):
+            members = np.flatnonzero(cats == cat)
+            if members.size == 0:
+                continue
+            order = members[np.argsort(row_norms[members], kind="stable")]
+            chunks = np.array_split(order, min(num_groups, members.size))
+            for chunk in chunks:
+                gid = len(group_cat)
+                group_cat.append(cat)
+                assignment[chunk] = gid
+        groupings.append(LayerGrouping(
+            assignment=assignment, group_cat=np.asarray(group_cat, dtype=int)))
+    return MergePlan(groupings=groupings, direction=direction, margin=float(margin))
+
+
+def group_reduce(w_split: np.ndarray, source_grouping: LayerGrouping) -> np.ndarray:
+    """Sum split-weight columns over source groups -> (d_out_split, groups)."""
+    g = source_grouping.num_groups
+    reduced = np.zeros((w_split.shape[0], g))
+    for j, gid in enumerate(source_grouping.assignment):
+        reduced[:, gid] += w_split[:, j]
+    return reduced
+
+
+def merge_weights(structure: SplitStructure, plan: MergePlan,
+                  split_weights: Sequence[np.ndarray],
+                  split_biases: Sequence[np.ndarray],
+                  input_grouping: Optional[LayerGrouping] = None) -> MergedWeights:
+    """Build the abstract network's weight matrices under ``plan``.
+
+    ``input_grouping`` defaults to singleton groups on the network input
+    (the input is never abstracted).  The stored weights include the plan's
+    ``margin`` pushed in each rule's direction.
+    """
+    n = len(structure.blocks)
+    weights, biases, rules = [], [], []
+    for k in range(n):
+        target = plan.groupings[k]
+        if k == 0:
+            d_in = structure.blocks[0].col_orig.size
+            source = input_grouping or LayerGrouping(
+                assignment=np.arange(d_in),
+                group_cat=np.zeros(d_in, dtype=int),
+            )
+        else:
+            source = plan.groupings[k - 1]
+        reduced = group_reduce(split_weights[k], source)
+        rule = _rule_signs(target.group_cat, plan.direction)
+        g_out = target.num_groups
+        # Margin scales with the source-group size: the dominance condition
+        # compares against *sums* over source members, so per-edge slack of
+        # ``margin`` needs ``margin * |group|`` on the merged weight.
+        source_sizes = np.bincount(source.assignment,
+                                   minlength=source.num_groups).astype(float)
+        w_margin = plan.margin * np.maximum(source_sizes, 1.0)
+        w_merged = np.zeros((g_out, reduced.shape[1]))
+        b_merged = np.zeros(g_out)
+        for gid in range(g_out):
+            members = np.flatnonzero(target.assignment == gid)
+            if members.size == 0:
+                raise ArtifactError(f"empty merge group {gid} at boundary {k}")
+            block_rows = reduced[members]
+            member_biases = split_biases[k][members]
+            if rule[gid] > 0:
+                w_merged[gid] = block_rows.max(axis=0) + w_margin
+                b_merged[gid] = member_biases.max() + plan.margin
+            else:
+                w_merged[gid] = block_rows.min(axis=0) - w_margin
+                b_merged[gid] = member_biases.min() - plan.margin
+        weights.append(w_merged)
+        biases.append(b_merged)
+        rules.append(rule)
+    return MergedWeights(weights=weights, biases=biases, rule_sign=rules)

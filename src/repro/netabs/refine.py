@@ -1,0 +1,61 @@
+"""Abstraction refinement: grow precision until the property is provable.
+
+When the merged networks are too coarse (the abstract output bounds violate
+``Dout`` even though the concrete network is safe -- a spurious result),
+the CAV'20 framework refines by splitting merged groups back.  We realise
+the same loop by rebuilding with a larger ``num_groups`` until either the
+abstract proof goes through or the abstraction degenerates to the split
+network itself (at which point the answer is as precise as the abstraction
+method can be, and a failure is handed back to the caller as inconclusive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.domains.box import Box
+from repro.nn.network import Network
+from repro.netabs.abstraction import NetworkAbstraction, build_abstraction
+
+__all__ = ["RefinementResult", "verify_with_refinement"]
+
+
+@dataclass
+class RefinementResult:
+    """Result of the build-check-refine loop.
+
+    ``holds`` is ``True`` when some abstraction level proved
+    ``f(Din) ⊆ Dout``, ``None`` when even the finest level stayed
+    inconclusive (the abstraction never *refutes*: its bounds are one-sided).
+    """
+
+    holds: Optional[bool]
+    abstraction: Optional[NetworkAbstraction]
+    levels_tried: int
+    final_groups: int
+
+
+def verify_with_refinement(network: Network, din: Box, dout: Box,
+                           initial_groups: int = 1,
+                           max_groups: int = 64,
+                           margin: float = 0.0,
+                           method: str = "symbolic") -> RefinementResult:
+    """Prove ``∀x ∈ din : f(x) ∈ dout`` through abstract networks,
+    doubling ``num_groups`` on every spurious failure."""
+    groups = max(1, int(initial_groups))
+    levels = 0
+    last: Optional[NetworkAbstraction] = None
+    while groups <= max_groups:
+        levels += 1
+        last = build_abstraction(network, din, num_groups=groups, margin=margin)
+        bounds = last.output_bounds(din, method=method)
+        if dout.contains_box(bounds):
+            return RefinementResult(True, last, levels, groups)
+        # Coarsest-to-finest: if the split network is already this small,
+        # further refinement cannot help.
+        sizes = last.abstraction_sizes()
+        if sizes["merged"] >= sizes["split"]:
+            break
+        groups *= 2
+    return RefinementResult(None, last, levels, groups)

@@ -1,0 +1,52 @@
+"""Neural-network substrate: layers, networks, training, serialization."""
+
+from repro.nn.layers import (
+    ACTIVATION_LAYERS,
+    PIECEWISE_LINEAR_LAYERS,
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.network import Block, Network
+from repro.nn.training import TrainConfig, TrainResult, fine_tune, mse_loss, train
+from repro.nn.serialize import (
+    load_network,
+    network_from_bytes,
+    network_to_bytes,
+    save_network,
+)
+from repro.nn.builders import fig2_network, random_relu_network, regression_head
+
+__all__ = [
+    "ACTIVATION_LAYERS",
+    "PIECEWISE_LINEAR_LAYERS",
+    "AvgPool2D",
+    "Block",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "LeakyReLU",
+    "Network",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "TrainConfig",
+    "TrainResult",
+    "fig2_network",
+    "fine_tune",
+    "load_network",
+    "mse_loss",
+    "network_from_bytes",
+    "network_to_bytes",
+    "random_relu_network",
+    "regression_head",
+    "save_network",
+    "train",
+]

@@ -1,0 +1,100 @@
+"""Constructors for the networks used throughout the reproduction.
+
+* :func:`fig2_network` -- the exact ReLU fragment of the paper's Fig. 2 /
+  Equation 2, used to replay the worked Proposition 1 example.
+* :func:`random_relu_network` -- seeded random ReLU nets for tests, property
+  checks, and ablation sweeps.
+* :func:`regression_head` -- the Fig. 4 "layers after convolution" shape:
+  Flatten features -> hidden ReLU layers -> one linear (or sigmoid) output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.network import Network
+
+__all__ = ["fig2_network", "random_relu_network", "regression_head"]
+
+
+def fig2_network() -> Network:
+    """The DNN fragment of the paper's Fig. 2.
+
+    Two inputs ``x1, x2``; first hidden layer ``n1, n2, n3`` with::
+
+        n1 = ReLU(x1 - 2*x2)
+        n2 = ReLU(-2*x1 + x2)
+        n3 = ReLU(x1 - x2)
+
+    second layer the single neuron::
+
+        n4 = ReLU(2*n1 + 2*n2 - n3)
+
+    On the original domain ``[-1, 1]^2`` box abstraction bounds ``n4`` by
+    ``[0, 12]``; on the enlarged ``[-1, 1.1]^2`` the box bound degrades to
+    ``[0, 12.4]`` while the exact maximum is ``6.2`` (paper, Equation 2).
+    """
+    w1 = np.array([[1.0, -2.0], [-2.0, 1.0], [1.0, -1.0]])
+    b1 = np.zeros(3)
+    w2 = np.array([[2.0, 2.0, -1.0]])
+    b2 = np.zeros(1)
+    return Network(
+        [Dense(2, 3, weight=w1, bias=b1), ReLU(),
+         Dense(3, 1, weight=w2, bias=b2), ReLU()],
+        input_dim=2,
+    )
+
+
+def random_relu_network(layer_dims: Sequence[int], seed: int = 0,
+                        weight_scale: Optional[float] = None,
+                        final_activation: bool = False) -> Network:
+    """Seeded random ReLU network with dims ``[d0, d1, ..., dn]``.
+
+    The final block is linear unless ``final_activation`` is set.
+    ``weight_scale`` overrides He initialisation with uniform weights in
+    ``[-weight_scale, weight_scale]`` (handy for keeping exact verification
+    instances well-conditioned in tests).
+    """
+    if len(layer_dims) < 2:
+        raise ShapeError("need at least input and output dims")
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i in range(len(layer_dims) - 1):
+        din, dout = int(layer_dims[i]), int(layer_dims[i + 1])
+        if weight_scale is None:
+            dense = Dense(din, dout, rng=rng)
+        else:
+            w = rng.uniform(-weight_scale, weight_scale, size=(dout, din))
+            b = rng.uniform(-weight_scale, weight_scale, size=dout)
+            dense = Dense(din, dout, weight=w, bias=b)
+        layers.append(dense)
+        last = i == len(layer_dims) - 2
+        if not last or final_activation:
+            layers.append(ReLU())
+    return Network(layers, input_dim=int(layer_dims[0]))
+
+
+def regression_head(feature_dim: int, hidden_dims: Sequence[int],
+                    sigmoid_output: bool = False, seed: int = 0) -> Network:
+    """The verified sub-network of Fig. 4: features -> ReLU MLP -> 1 output.
+
+    The paper's head emits ``vout`` in ``[0, 1]``; with
+    ``sigmoid_output=False`` (default) the output block is linear, matching
+    the common choice of training with a clipped/linear head so the network
+    stays piecewise linear and the exact solver applies end to end.
+    """
+    rng = np.random.default_rng(seed)
+    layers = []
+    din = int(feature_dim)
+    for h in hidden_dims:
+        layers.append(Dense(din, int(h), rng=rng))
+        layers.append(ReLU())
+        din = int(h)
+    layers.append(Dense(din, 1, rng=rng))
+    if sigmoid_output:
+        layers.append(Sigmoid())
+    return Network(layers, input_dim=int(feature_dim))

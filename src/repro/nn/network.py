@@ -1,0 +1,245 @@
+"""Sequential feed-forward network and its block structure.
+
+The paper models a DNN as ``f = g_n ∘ ... ∘ g_1`` where each ``g_k`` is an
+affine transformation followed by a nonlinearity.  We store layers flat
+(``Dense``, ``ReLU``, ...) and expose the paper's view through
+:meth:`Network.blocks`: each :class:`Block` is one ``g_k`` (a ``Dense`` plus
+an optional activation).  Every verification routine in the library indexes
+the network by *block*, so "reuse state abstraction ``S_i``" and "check layer
+``g_{i+1}``" translate directly to block indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LayerError, ShapeError
+from repro.nn.layers import (
+    ACTIVATION_LAYERS,
+    Dense,
+    Flatten,
+    Layer,
+)
+
+__all__ = ["Block", "Network"]
+
+
+@dataclass
+class Block:
+    """One paper-layer ``g_k``: an affine map plus an optional activation.
+
+    ``activation`` is ``None`` for a purely linear output layer (common for
+    regression heads such as the vehicle waypoint network).
+    """
+
+    dense: Dense
+    activation: Optional[Layer]
+
+    @property
+    def in_dim(self) -> int:
+        return self.dense.in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.dense.out_dim_
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = self.dense.forward(x)
+        if self.activation is not None:
+            y = self.activation.forward(y)
+        return y
+
+    def layers(self) -> List[Layer]:
+        if self.activation is None:
+            return [self.dense]
+        return [self.dense, self.activation]
+
+
+class Network:
+    """An ordered sequence of layers forming a feed-forward network.
+
+    Parameters
+    ----------
+    layers:
+        The layer sequence.  Leading ``Flatten`` layers are allowed (they are
+        identities on flat input); after optional flattening the network must
+        alternate ``Dense`` and activation layers (activations may be
+        omitted, e.g. for a linear output block).
+    input_dim:
+        Dimensionality of the flat input vector.  Required so that shape
+        validation and block extraction work without running data through the
+        network.
+    """
+
+    def __init__(self, layers: Sequence[Layer], input_dim: int):
+        if input_dim <= 0:
+            raise ShapeError(f"input_dim must be positive, got {input_dim}")
+        if not layers:
+            raise LayerError("a Network needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.input_dim = int(input_dim)
+        self._blocks = self._build_blocks()
+
+    # ------------------------------------------------------------------ build
+    def _build_blocks(self) -> List[Block]:
+        blocks: List[Block] = []
+        i = 0
+        dim = self.input_dim
+        # Skip (identity) flatten layers at the head.
+        while i < len(self.layers) and isinstance(self.layers[i], Flatten):
+            i += 1
+        while i < len(self.layers):
+            layer = self.layers[i]
+            if not isinstance(layer, Dense):
+                raise LayerError(
+                    f"expected Dense at layer index {i}, got {type(layer).__name__}; "
+                    "Network blocks must alternate Dense and activation layers"
+                )
+            dim = layer.out_dim(dim)
+            activation: Optional[Layer] = None
+            if i + 1 < len(self.layers) and isinstance(self.layers[i + 1], ACTIVATION_LAYERS):
+                activation = self.layers[i + 1]
+                i += 1
+            blocks.append(Block(dense=layer, activation=activation))
+            i += 1
+        if not blocks:
+            raise LayerError("a Network needs at least one Dense block")
+        self._output_dim = dim
+        return blocks
+
+    # ------------------------------------------------------------- properties
+    @property
+    def output_dim(self) -> int:
+        """Dimensionality of the network output."""
+        return self._output_dim
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of paper-layers ``n`` (affine + activation groups)."""
+        return len(self._blocks)
+
+    def blocks(self) -> List[Block]:
+        """The paper-layer view ``[g_1, ..., g_n]`` (shared parameters)."""
+        return list(self._blocks)
+
+    def block(self, k: int) -> Block:
+        """``g_{k+1}`` in paper terms -- zero-based block index ``k``."""
+        return self._blocks[k]
+
+    def block_dims(self) -> List[int]:
+        """``[d_0, d_1, ..., d_n]``: input dim followed by every block's
+        output dim, so ``block_dims()[i+1]`` is the dimension of ``S_{i+1}``."""
+        dims = [self.input_dim]
+        for blk in self._blocks:
+            dims.append(blk.out_dim)
+        return dims
+
+    # ------------------------------------------------------------- evaluation
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the network on a sample ``(d,)`` or batch ``(N, d)``."""
+        y = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            y = layer.forward(y)
+        return y
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def forward_blocks(self, x: np.ndarray, upto: Optional[int] = None) -> np.ndarray:
+        """Evaluate the first ``upto`` blocks (all blocks if ``None``).
+
+        ``forward_blocks(x, k)`` computes ``g_k(...g_1(x))`` -- the value
+        whose reachable set the state abstraction ``S_k`` over-approximates.
+        """
+        n = self.num_blocks if upto is None else int(upto)
+        if not 0 <= n <= self.num_blocks:
+            raise ShapeError(f"upto must be in [0, {self.num_blocks}], got {n}")
+        y = np.asarray(x, dtype=np.float64)
+        for blk in self._blocks[:n]:
+            y = blk.forward(y)
+        return y
+
+    def activations(self, x: np.ndarray) -> List[np.ndarray]:
+        """Post-activation value after every block: ``[g_1(x), g_2(g_1(x)), ...]``."""
+        values = []
+        y = np.asarray(x, dtype=np.float64)
+        for blk in self._blocks:
+            y = blk.forward(y)
+            values.append(y)
+        return values
+
+    # ------------------------------------------------------------ subnetworks
+    def subnetwork(self, start: int, stop: Optional[int] = None) -> "Network":
+        """Network computing blocks ``g_{start+1} .. g_{stop}`` (zero-based,
+        half-open like slicing).  Shares no parameters with ``self``.
+
+        ``subnetwork(0, 2)`` is the two-layer head used by Proposition 1;
+        ``subnetwork(j, j + 1)`` is the single layer ``g_{j+1}`` checked by
+        Propositions 2 and 4.
+        """
+        stop = self.num_blocks if stop is None else int(stop)
+        if not 0 <= start < stop <= self.num_blocks:
+            raise ShapeError(
+                f"invalid block range [{start}, {stop}) for {self.num_blocks} blocks"
+            )
+        layers: List[Layer] = []
+        for blk in self._blocks[start:stop]:
+            for layer in blk.layers():
+                layers.append(layer.copy())
+        in_dim = self.block_dims()[start]
+        return Network(layers, input_dim=in_dim)
+
+    # ---------------------------------------------------------------- editing
+    def copy(self) -> "Network":
+        """Deep copy with freshly-copied parameters."""
+        return Network([layer.copy() for layer in self.layers], input_dim=self.input_dim)
+
+    def perturb(self, scale: float, rng: Optional[np.random.Generator] = None,
+                frozen_blocks: Iterable[int] = ()) -> "Network":
+        """Return a copy whose Dense parameters received Gaussian noise.
+
+        A cheap stand-in for fine-tuning when generating SVbTV test cases;
+        ``frozen_blocks`` lists block indices left untouched (the paper
+        freezes the convolutional front -- in our flat nets, any block can
+        play that role).
+        """
+        rng = rng or np.random.default_rng()
+        frozen = set(int(i) for i in frozen_blocks)
+        new = self.copy()
+        for k, blk in enumerate(new.blocks()):
+            if k in frozen:
+                continue
+            blk.dense.weight = blk.dense.weight + rng.normal(
+                0.0, scale, size=blk.dense.weight.shape
+            )
+            blk.dense.bias = blk.dense.bias + rng.normal(
+                0.0, scale, size=blk.dense.bias.shape
+            )
+        return new
+
+    def max_weight_delta(self, other: "Network") -> float:
+        """Largest absolute parameter difference between two same-shaped nets.
+
+        Useful for asserting that a fine-tuned ``f'`` is a *small* change of
+        ``f`` (the setting Propositions 4-6 target).
+        """
+        if self.num_blocks != other.num_blocks:
+            raise ShapeError("networks have different block counts")
+        delta = 0.0
+        for a, b in zip(self.blocks(), other.blocks()):
+            if a.dense.weight.shape != b.dense.weight.shape:
+                raise ShapeError("networks have different layer shapes")
+            delta = max(delta, float(np.max(np.abs(a.dense.weight - b.dense.weight))))
+            delta = max(delta, float(np.max(np.abs(a.dense.bias - b.dense.bias))))
+        return delta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "-".join(str(d) for d in self.block_dims())
+        acts = ",".join(
+            type(b.activation).__name__ if b.activation else "linear"
+            for b in self._blocks
+        )
+        return f"Network({dims}; activations=[{acts}])"

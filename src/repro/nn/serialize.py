@@ -1,0 +1,88 @@
+"""Save / load networks as a single ``.npz`` file.
+
+Layout: one JSON document (stored under the key ``__structure__``) records
+the ordered layer classes and their JSON-safe configs; each layer's arrays
+are stored as ``layer{i}.{name}``.  Round-tripping is exact (float64).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn import layers as layers_mod
+from repro.nn.network import Network
+
+__all__ = ["save_network", "load_network", "network_to_bytes", "network_from_bytes"]
+
+_LAYER_CLASSES = {
+    name: getattr(layers_mod, name)
+    for name in layers_mod.__all__
+    if isinstance(getattr(layers_mod, name), type)
+}
+
+
+def _pack(network: Network) -> dict:
+    structure = {
+        "input_dim": network.input_dim,
+        "layers": [
+            {"class": type(layer).__name__, "config": layer.config()}
+            for layer in network.layers
+        ],
+    }
+    payload = {"__structure__": np.frombuffer(
+        json.dumps(structure).encode("utf-8"), dtype=np.uint8)}
+    for i, layer in enumerate(network.layers):
+        for name, arr in layer.arrays().items():
+            payload[f"layer{i}.{name}"] = arr
+    return payload
+
+
+def _unpack(data) -> Network:
+    try:
+        raw = bytes(data["__structure__"].tobytes())
+        structure = json.loads(raw.decode("utf-8"))
+    except Exception as exc:
+        raise SerializationError(f"missing or corrupt structure record: {exc}") from exc
+    layers = []
+    for i, spec in enumerate(structure["layers"]):
+        cls_name = spec["class"]
+        if cls_name not in _LAYER_CLASSES:
+            raise SerializationError(f"unknown layer class {cls_name!r}")
+        cls = _LAYER_CLASSES[cls_name]
+        arrays = {
+            key.split(".", 1)[1]: data[key]
+            for key in data.files
+            if key.startswith(f"layer{i}.")
+        }
+        layers.append(cls._from_parts(spec["config"], arrays))
+    return Network(layers, input_dim=int(structure["input_dim"]))
+
+
+def save_network(network: Network, path: Union[str, Path]) -> None:
+    """Persist ``network`` to ``path`` (conventionally ``*.npz``)."""
+    np.savez(str(path), **_pack(network))
+
+
+def load_network(path: Union[str, Path]) -> Network:
+    """Load a network previously written by :func:`save_network`."""
+    with np.load(str(path)) as data:
+        return _unpack(data)
+
+
+def network_to_bytes(network: Network) -> bytes:
+    """Serialize to an in-memory byte string (for artifact bundles)."""
+    buf = io.BytesIO()
+    np.savez(buf, **_pack(network))
+    return buf.getvalue()
+
+
+def network_from_bytes(blob: bytes) -> Network:
+    """Inverse of :func:`network_to_bytes`."""
+    with np.load(io.BytesIO(blob)) as data:
+        return _unpack(data)

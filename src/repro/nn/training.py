@@ -1,0 +1,183 @@
+"""Pure-numpy training: SGD / Adam on MSE loss, plus the fine-tuning API.
+
+The paper's continuous-engineering loop fine-tunes an already-trained network
+with a very small learning rate (around ``1e-3``), keeping the convolutional
+front frozen so every version shares one input domain.  :func:`fine_tune`
+reproduces exactly that: it deep-copies the network, optionally freezes
+blocks, and runs a few low-learning-rate epochs, returning the new version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.network import Network
+
+__all__ = ["TrainConfig", "TrainResult", "mse_loss", "train", "fine_tune"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :func:`train`.
+
+    ``optimizer`` is ``"sgd"`` (with momentum) or ``"adam"``.
+    ``frozen_blocks`` lists block indices whose parameters never move --
+    the mechanism used to mirror the paper's frozen convolution front.
+    """
+
+    epochs: int = 50
+    batch_size: int = 32
+    learning_rate: float = 1e-2
+    momentum: float = 0.9
+    optimizer: str = "sgd"
+    frozen_blocks: Sequence[int] = ()
+    shuffle: bool = True
+    seed: int = 0
+    adam_beta1: float = 0.9
+    adam_beta2: float = 0.999
+    adam_eps: float = 1e-8
+
+
+@dataclass
+class TrainResult:
+    """Loss trajectory of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared-error loss and its gradient w.r.t. ``pred``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ShapeError(f"prediction shape {pred.shape} != target shape {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff * diff))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def _forward_with_caches(network: Network, xb: np.ndarray):
+    caches = []
+    y = xb
+    for layer in network.layers:
+        y, cache = layer.forward(y, return_cache=True)
+        caches.append(cache)
+    return y, caches
+
+
+def _backward(network: Network, grad: np.ndarray, caches) -> List[Dict[str, np.ndarray]]:
+    grads: List[Dict[str, np.ndarray]] = [dict() for _ in network.layers]
+    for idx in range(len(network.layers) - 1, -1, -1):
+        grad, pgrads = network.layers[idx].backward(grad, caches[idx])
+        grads[idx] = pgrads
+    return grads
+
+
+def _trainable_layer_indices(network: Network, frozen_blocks: Iterable[int]) -> set:
+    frozen = set(int(i) for i in frozen_blocks)
+    frozen_layers = set()
+    for k, blk in enumerate(network.blocks()):
+        if k in frozen:
+            frozen_layers.add(id(blk.dense))
+    return {
+        i
+        for i, layer in enumerate(network.layers)
+        if layer.trainable_params and id(layer) not in frozen_layers
+    }
+
+
+def train(network: Network, inputs: np.ndarray, targets: np.ndarray,
+          config: Optional[TrainConfig] = None) -> TrainResult:
+    """Train ``network`` in place on ``(inputs, targets)`` with MSE loss.
+
+    ``inputs`` is ``(N, d_in)``; ``targets`` is ``(N, d_out)`` or ``(N,)``
+    for scalar outputs.  Returns the per-epoch loss trajectory.
+    """
+    config = config or TrainConfig()
+    x = np.asarray(inputs, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    if x.ndim != 2:
+        raise ShapeError(f"inputs must be (N, d), got shape {x.shape}")
+    if y.ndim == 1:
+        y = y[:, None]
+    if y.shape[0] != x.shape[0]:
+        raise ShapeError("inputs and targets disagree on the number of samples")
+
+    rng = np.random.default_rng(config.seed)
+    trainable = _trainable_layer_indices(network, config.frozen_blocks)
+
+    velocity: Dict[Tuple[int, str], np.ndarray] = {}
+    adam_m: Dict[Tuple[int, str], np.ndarray] = {}
+    adam_v: Dict[Tuple[int, str], np.ndarray] = {}
+    adam_t = 0
+
+    result = TrainResult()
+    n = x.shape[0]
+    for _epoch in range(config.epochs):
+        order = rng.permutation(n) if config.shuffle else np.arange(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start:start + config.batch_size]
+            xb, yb = x[idx], y[idx]
+            pred, caches = _forward_with_caches(network, xb)
+            if pred.ndim == 1:
+                pred = pred[:, None]
+            loss, grad = mse_loss(pred, yb)
+            epoch_loss += loss
+            batches += 1
+            grads = _backward(network, grad.reshape(pred.shape), caches)
+            adam_t += 1
+            for i in trainable:
+                layer = network.layers[i]
+                for name, g in grads[i].items():
+                    param = layer.trainable_params[name]
+                    key = (i, name)
+                    if config.optimizer == "adam":
+                        m = adam_m.get(key, np.zeros_like(param))
+                        v = adam_v.get(key, np.zeros_like(param))
+                        m = config.adam_beta1 * m + (1 - config.adam_beta1) * g
+                        v = config.adam_beta2 * v + (1 - config.adam_beta2) * g * g
+                        adam_m[key], adam_v[key] = m, v
+                        mhat = m / (1 - config.adam_beta1 ** adam_t)
+                        vhat = v / (1 - config.adam_beta2 ** adam_t)
+                        step = config.learning_rate * mhat / (np.sqrt(vhat) + config.adam_eps)
+                    else:
+                        vel = velocity.get(key, np.zeros_like(param))
+                        vel = config.momentum * vel - config.learning_rate * g
+                        velocity[key] = vel
+                        step = -vel
+                    param -= step
+        result.losses.append(epoch_loss / max(batches, 1))
+    return result
+
+
+def fine_tune(network: Network, inputs: np.ndarray, targets: np.ndarray,
+              learning_rate: float = 1e-3, epochs: int = 3,
+              frozen_blocks: Sequence[int] = (), seed: int = 0) -> Network:
+    """Return a *new* network fine-tuned from ``network``.
+
+    Mirrors the paper's continuous-engineering step: small learning rate,
+    few epochs, optionally frozen blocks; the original network is untouched,
+    so the caller keeps both versions for the SVbTV problem.
+    """
+    tuned = network.copy()
+    config = TrainConfig(
+        epochs=epochs,
+        learning_rate=learning_rate,
+        optimizer="sgd",
+        momentum=0.0,
+        frozen_blocks=frozen_blocks,
+        seed=seed,
+    )
+    train(tuned, inputs, targets, config)
+    return tuned

@@ -1,0 +1,29 @@
+"""Vehicle substrate: track geometry, camera, perception, closed-loop sim."""
+
+from repro.vehicle.track import CarPose, Track
+from repro.vehicle.camera import Camera, RenderedFrame
+from repro.vehicle.perception import FeatureExtractor, Perception, PerceptionConfig
+from repro.vehicle.dataset import (
+    Dataset,
+    ScenarioConfig,
+    feature_dataset,
+    generate_dataset,
+)
+from repro.vehicle.platform import DriveConfig, DriveLog, VehiclePlatform
+
+__all__ = [
+    "Camera",
+    "CarPose",
+    "Dataset",
+    "DriveConfig",
+    "DriveLog",
+    "FeatureExtractor",
+    "Perception",
+    "PerceptionConfig",
+    "RenderedFrame",
+    "ScenarioConfig",
+    "Track",
+    "VehiclePlatform",
+    "feature_dataset",
+    "generate_dataset",
+]

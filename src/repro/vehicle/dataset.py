@@ -1,0 +1,71 @@
+"""Auto-labelled datasets: the stand-in for the paper's manual labelling.
+
+The paper trains the waypoint head on a manually labelled set collected on
+the race track.  The synthetic substrate knows the true geometry, so labels
+come for free: render frames from randomised driving poses and record each
+frame's ground-truth ``vout``.  Scenario knobs (brightness drift, wider
+pose dispersion) generate the out-of-distribution data that the runtime
+monitor later flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.vehicle.camera import Camera
+from repro.vehicle.perception import FeatureExtractor
+from repro.vehicle.track import Track
+
+__all__ = ["ScenarioConfig", "Dataset", "generate_dataset", "feature_dataset"]
+
+
+@dataclass
+class ScenarioConfig:
+    """Data-collection scenario parameters.
+
+    ``brightness`` scales the scene lighting (1.0 = nominal);
+    ``lateral_std`` / ``heading_std`` control pose dispersion around the
+    centerline.  The *drift* scenarios of the experiments widen these.
+    """
+
+    brightness: float = 1.0
+    lateral_std: float = 0.08
+    heading_std: float = 0.10
+    seed: int = 0
+
+
+@dataclass
+class Dataset:
+    """Rendered frames ``(N, 3, H, W)`` with labels ``vout (N,)``."""
+
+    frames: np.ndarray
+    vout: np.ndarray
+
+    def __len__(self) -> int:
+        return self.frames.shape[0]
+
+
+def generate_dataset(track: Track, camera: Camera, n: int,
+                     scenario: Optional[ScenarioConfig] = None) -> Dataset:
+    """Render ``n`` labelled frames from randomised poses on ``track``."""
+    scenario = scenario or ScenarioConfig()
+    rng = np.random.default_rng(scenario.seed)
+    _, poses = track.sample_poses(
+        n, rng, lateral_std=scenario.lateral_std, heading_std=scenario.heading_std)
+    frames = np.empty((n, 3, camera.frame_size, camera.frame_size))
+    vout = np.empty(n)
+    for i, pose in enumerate(poses):
+        rendered = camera.render(track, pose, brightness=scenario.brightness)
+        frames[i] = rendered.image
+        vout[i] = rendered.vout
+    return Dataset(frames=frames, vout=vout)
+
+
+def feature_dataset(extractor: FeatureExtractor, dataset: Dataset,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract head-training pairs ``(features (N, d), vout (N, 1))``."""
+    features = extractor.extract(dataset.frames)
+    return features, dataset.vout[:, None]

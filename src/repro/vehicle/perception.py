@@ -1,0 +1,135 @@
+"""The perception pipeline of the paper's Fig. 4.
+
+A frozen convolutional feature extractor (standing in for the CIFAR10
+transfer-learned convolution front the paper keeps fixed during fine-
+tuning) followed by the trainable dense *head* -- the sub-network that is
+actually verified.  The extractor ends in ReLU before ``Flatten``, so head
+inputs are non-negative: exactly the feature space the runtime monitor
+boxes and the input domain `Din` of every verification problem, and the
+property that lets network abstraction merge the head's first layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import VehicleError
+from repro.nn.builders import regression_head
+from repro.nn.layers import AvgPool2D, Conv2D, Flatten, ReLU
+from repro.nn.network import Network
+
+__all__ = ["PerceptionConfig", "FeatureExtractor", "Perception"]
+
+
+@dataclass
+class PerceptionConfig:
+    """Shapes of the perception stack.
+
+    The default is a laptop-scale stand-in (32x32 frames, 27 features);
+    :meth:`paper_scale` returns the 224x224 geometry of the paper.  The
+    verified head is ``feature_dim -> hidden_dims -> 1``.
+    """
+
+    frame_size: int = 32
+    conv_channels: Tuple[int, int] = (4, 3)
+    conv_kernels: Tuple[int, int] = (5, 3)
+    conv_strides: Tuple[int, int] = (2, 2)
+    pool_size: int = 2
+    hidden_dims: Sequence[int] = (24, 16)
+    #: fixed post-Flatten gain keeping features O(1) (random-He conv outputs
+    #: on [0,1] images are tiny; an O(1) feature scale keeps monitor buffers
+    #: and verification tolerances meaningful).
+    feature_scale: float = 30.0
+    seed: int = 7
+
+    @staticmethod
+    def paper_scale() -> "PerceptionConfig":
+        """224x224 RGB geometry matching the paper's deployed network."""
+        return PerceptionConfig(
+            frame_size=224,
+            conv_channels=(6, 8),
+            conv_kernels=(7, 3),
+            conv_strides=(4, 2),
+            pool_size=4,
+            hidden_dims=(64, 32),
+            feature_scale=30.0,
+            seed=7,
+        )
+
+
+class FeatureExtractor:
+    """Frozen convolution front: Conv-ReLU-Pool-Conv-ReLU-Flatten."""
+
+    def __init__(self, config: PerceptionConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        c1, c2 = config.conv_channels
+        k1, k2 = config.conv_kernels
+        s1, s2 = config.conv_strides
+        self.layers = [
+            Conv2D(3, c1, k1, stride=s1, rng=rng),
+            ReLU(),
+            AvgPool2D(config.pool_size),
+            Conv2D(c1, c2, k2, stride=s2, rng=rng),
+            ReLU(),
+            Flatten(),
+        ]
+        shape = (3, config.frame_size, config.frame_size)
+        for layer in self.layers[:-1]:
+            if hasattr(layer, "out_shape"):
+                shape = layer.out_shape(shape)
+        self.feature_shape = shape
+        self.feature_dim = int(np.prod(shape))
+        if self.feature_dim < 4:
+            raise VehicleError(
+                f"degenerate feature dim {self.feature_dim}; enlarge the frame"
+            )
+
+    def extract(self, frames: np.ndarray) -> np.ndarray:
+        """Features for one ``(3, H, W)`` frame or a batch ``(N, 3, H, W)``.
+
+        Output is ``(feature_dim,)`` or ``(N, feature_dim)``, non-negative.
+        """
+        y = np.asarray(frames, dtype=np.float64)
+        for layer in self.layers:
+            y = layer.forward(y)
+        return y * self.config.feature_scale
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        return self.extract(frames)
+
+
+@dataclass
+class Perception:
+    """Extractor + trainable head; ``predict`` maps frames to ``vout``."""
+
+    extractor: FeatureExtractor
+    head: Network
+
+    @staticmethod
+    def build(config: PerceptionConfig | None = None) -> "Perception":
+        config = config or PerceptionConfig()
+        extractor = FeatureExtractor(config)
+        head = regression_head(extractor.feature_dim, config.hidden_dims,
+                               seed=config.seed + 1)
+        return Perception(extractor=extractor, head=head)
+
+    def predict(self, frames: np.ndarray) -> np.ndarray:
+        """End-to-end ``vout`` prediction, clipped to the valid [0, 1]."""
+        features = self.extractor.extract(frames)
+        raw = np.atleast_1d(self.head.forward(features)).reshape(-1)
+        return np.clip(raw, 0.0, 1.0)
+
+    def with_head(self, head: Network) -> "Perception":
+        """Same frozen extractor, different (e.g. fine-tuned) head."""
+        return Perception(extractor=self.extractor, head=head)
+
+    def waypoint_pixels(self, frames: np.ndarray) -> List[Tuple[int, int]]:
+        """The paper's waypoint reconstruction
+        ``(x, y) = (int(S * vout), int(S/3))`` per frame (``S`` = frame size;
+        the paper uses 224 and row 75 ≈ 224/3)."""
+        size = self.extractor.config.frame_size
+        return [(int(size * v), int(size / 3)) for v in self.predict(frames)]

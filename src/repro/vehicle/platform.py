@@ -1,0 +1,111 @@
+"""Closed-loop lane following: the substitute for the 1/10-scale car.
+
+Couples the camera, perception stack, and a unicycle motion model into the
+continuous-operation loop of Section V: at each tick the car renders a
+frame, predicts the visual waypoint ``vout``, steers toward it, advances,
+and (optionally) feeds the frame's feature vector to the runtime monitor.
+Scenario drift (brightness, disturbances) pushes features out of the
+calibrated ``Din`` exactly the way newly encountered conditions do on the
+physical track, producing the ``Δin`` for the next verification problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import VehicleError
+from repro.monitor.boxmonitor import BoxMonitor
+from repro.vehicle.camera import Camera
+from repro.vehicle.perception import Perception
+from repro.vehicle.track import CarPose, Track
+
+__all__ = ["DriveConfig", "DriveLog", "VehiclePlatform"]
+
+
+@dataclass
+class DriveConfig:
+    """Closed-loop simulation parameters."""
+
+    steps: int = 200
+    dt: float = 0.05
+    speed: float = 1.0
+    steering_gain: float = 2.5
+    brightness: float = 1.0
+    disturbance_std: float = 0.0
+    seed: int = 0
+
+
+@dataclass
+class DriveLog:
+    """Per-step telemetry of one closed-loop run."""
+
+    poses: List[CarPose] = field(default_factory=list)
+    vout: List[float] = field(default_factory=list)
+    vout_true: List[float] = field(default_factory=list)
+    lateral_error: List[float] = field(default_factory=list)
+    features: List[np.ndarray] = field(default_factory=list)
+    monitor_flags: List[bool] = field(default_factory=list)
+
+    @property
+    def max_abs_lateral_error(self) -> float:
+        return float(np.max(np.abs(self.lateral_error))) if self.lateral_error else 0.0
+
+    @property
+    def mean_abs_lateral_error(self) -> float:
+        return float(np.mean(np.abs(self.lateral_error))) if self.lateral_error else 0.0
+
+    def feature_matrix(self) -> np.ndarray:
+        return np.vstack(self.features)
+
+
+class VehiclePlatform:
+    """The simulated car: track + camera + perception + motion model."""
+
+    def __init__(self, track: Track, camera: Camera, perception: Perception):
+        self.track = track
+        self.camera = camera
+        self.perception = perception
+
+    def drive(self, config: Optional[DriveConfig] = None,
+              monitor: Optional[BoxMonitor] = None,
+              start_pose: Optional[CarPose] = None) -> DriveLog:
+        """Run the closed loop for ``config.steps`` ticks.
+
+        When ``monitor`` is given, every frame's feature vector is checked
+        against the calibrated domain and the flag recorded in the log.
+        """
+        config = config or DriveConfig()
+        if config.steps <= 0:
+            raise VehicleError("steps must be positive")
+        rng = np.random.default_rng(config.seed)
+        pose = start_pose or self.track.pose(0.0)
+        log = DriveLog()
+
+        for _ in range(config.steps):
+            rendered = self.camera.render(self.track, pose,
+                                          brightness=config.brightness)
+            features = self.perception.extractor.extract(rendered.image)
+            vout = float(self.perception.predict(rendered.image[np.newaxis])[0])
+
+            log.poses.append(pose)
+            log.vout.append(vout)
+            log.vout_true.append(rendered.vout)
+            log.lateral_error.append(self.track.lateral_error(pose.position))
+            log.features.append(features)
+            if monitor is not None:
+                log.monitor_flags.append(monitor.observe(features))
+
+            # Steer toward the predicted waypoint: vout > 0.5 means the
+            # waypoint is to the right of the image center.
+            steer = -config.steering_gain * (vout - 0.5)
+            if config.disturbance_std > 0:
+                steer += float(rng.normal(0.0, config.disturbance_std))
+            theta = pose.theta + steer * config.dt
+            x = pose.x + config.speed * np.cos(theta) * config.dt
+            y = pose.y + config.speed * np.sin(theta) * config.dt
+            pose = CarPose(float(x), float(y), float(theta))
+
+        return log

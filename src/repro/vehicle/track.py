@@ -1,0 +1,142 @@
+"""Parametric race track geometry for the 1/10-scale vehicle substrate.
+
+The physical testbed of the paper (a scaled car lane-following a closed
+track) is replaced by an analytic circular track: a centerline of radius
+``R`` with asphalt of a given width and a painted centerline stripe.  The
+circle keeps every geometric query (nearest point, arc positions, signed
+lateral error) exact and cheap, while still exercising left- *and*
+right-of-center waypoints as the car oscillates around the centerline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import VehicleError
+
+__all__ = ["Track", "CarPose"]
+
+
+@dataclass
+class CarPose:
+    """Planar pose: position ``(x, y)`` in meters, heading ``theta`` (rad)."""
+
+    x: float
+    y: float
+    theta: float
+
+    @property
+    def position(self) -> np.ndarray:
+        return np.array([self.x, self.y])
+
+    @property
+    def forward(self) -> np.ndarray:
+        return np.array([np.cos(self.theta), np.sin(self.theta)])
+
+    @property
+    def right(self) -> np.ndarray:
+        return np.array([np.sin(self.theta), -np.cos(self.theta)])
+
+
+class Track:
+    """Circular track centered at the origin, driven counterclockwise."""
+
+    def __init__(self, radius: float = 3.0, width: float = 0.6,
+                 stripe_width: float = 0.06):
+        if radius <= 0 or width <= 0 or stripe_width <= 0:
+            raise VehicleError("track dimensions must be positive")
+        if width >= radius:
+            raise VehicleError("track width must be smaller than its radius")
+        self.radius = float(radius)
+        self.width = float(width)
+        self.stripe_width = float(stripe_width)
+
+    @property
+    def length(self) -> float:
+        """Centerline circumference."""
+        return 2.0 * np.pi * self.radius
+
+    # ------------------------------------------------------------- geometry
+    def position(self, s: float) -> np.ndarray:
+        """Centerline point at arc length ``s`` (wraps around)."""
+        phi = s / self.radius
+        return self.radius * np.array([np.cos(phi), np.sin(phi)])
+
+    def heading(self, s: float) -> float:
+        """Tangent direction (counterclockwise travel) at arc length ``s``."""
+        phi = s / self.radius
+        return float(phi + np.pi / 2.0)
+
+    def pose(self, s: float, lateral: float = 0.0,
+             heading_offset: float = 0.0) -> CarPose:
+        """Car pose at arc length ``s``, offset ``lateral`` meters to the
+        *outside* of the centerline, heading rotated by ``heading_offset``."""
+        phi = s / self.radius
+        radial = np.array([np.cos(phi), np.sin(phi)])
+        p = (self.radius + lateral) * radial
+        return CarPose(float(p[0]), float(p[1]), self.heading(s) + heading_offset)
+
+    def nearest_arc(self, point: np.ndarray) -> float:
+        """Arc length of the centerline point nearest to ``point``."""
+        p = np.asarray(point, dtype=np.float64).reshape(2)
+        phi = float(np.arctan2(p[1], p[0])) % (2.0 * np.pi)
+        return phi * self.radius
+
+    def lateral_error(self, point: np.ndarray) -> float:
+        """Signed distance from the centerline (positive = outside)."""
+        p = np.asarray(point, dtype=np.float64).reshape(2)
+        return float(np.linalg.norm(p) - self.radius)
+
+    def centerline_distance(self, points: np.ndarray) -> np.ndarray:
+        """Unsigned centerline distance for an ``(..., 2)`` array of points
+        (vectorised; used by the camera rasteriser)."""
+        pts = np.asarray(points, dtype=np.float64)
+        return np.abs(np.linalg.norm(pts, axis=-1) - self.radius)
+
+    def on_track(self, point: np.ndarray) -> bool:
+        """Is the point on the asphalt?"""
+        return bool(self.centerline_distance(np.asarray(point)) <= self.width / 2.0)
+
+    def waypoint_ahead(self, pose: CarPose, lookahead: float) -> np.ndarray:
+        """Centerline point ``lookahead`` meters of arc ahead of the pose's
+        nearest centerline point -- the ground-truth visual waypoint."""
+        s = self.nearest_arc(pose.position)
+        return self.position(s + lookahead)
+
+    def world_colors(self, points: np.ndarray,
+                     brightness: float = 1.0) -> np.ndarray:
+        """RGB colors (float in [0, 1]) of ground points ``(..., 2)``.
+
+        Grass green off-track, asphalt gray on-track, white centerline
+        stripe; ``brightness`` scales everything (the lighting-drift knob of
+        the out-of-distribution scenario).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        dist = self.centerline_distance(pts)
+        colors = np.empty(pts.shape[:-1] + (3,))
+        colors[...] = (0.13, 0.45, 0.17)  # grass
+        asphalt = dist <= self.width / 2.0
+        colors[asphalt] = (0.35, 0.35, 0.38)
+        stripe = dist <= self.stripe_width / 2.0
+        colors[stripe] = (0.95, 0.95, 0.92)
+        return np.clip(colors * float(brightness), 0.0, 1.0)
+
+    def sample_poses(self, n: int, rng: np.random.Generator,
+                     lateral_std: float = 0.08,
+                     heading_std: float = 0.1) -> Tuple[np.ndarray, list]:
+        """Randomised driving poses along the track: arc positions plus
+        perturbed lateral offset / heading, as seen during data collection."""
+        arcs = rng.uniform(0.0, self.length, size=int(n))
+        poses = [
+            self.pose(
+                float(s),
+                lateral=float(np.clip(rng.normal(0.0, lateral_std),
+                                      -self.width / 2, self.width / 2)),
+                heading_offset=float(rng.normal(0.0, heading_std)),
+            )
+            for s in arcs
+        ]
+        return arcs, poses

@@ -1,0 +1,47 @@
+"""Shared fixtures: small, fast, deterministic networks and domains."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.nn import fig2_network, random_relu_network
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig2():
+    """The paper's Fig. 2 network."""
+    return fig2_network()
+
+
+@pytest.fixture
+def unit_box2():
+    """[-1, 1]^2: the Fig. 2 original domain."""
+    return Box(-np.ones(2), np.ones(2))
+
+
+@pytest.fixture
+def enlarged_box2():
+    """[-1, 1.1]^2: the Fig. 2 enlarged domain."""
+    return Box(-np.ones(2), np.array([1.1, 1.1]))
+
+
+@pytest.fixture
+def small_net():
+    """3-16-8-2 ReLU net with linear output, bounded weights."""
+    return random_relu_network([3, 16, 8, 2], seed=7, weight_scale=0.8)
+
+
+@pytest.fixture
+def deep_scalar_net():
+    """4-block single-output net used by proposition tests."""
+    return random_relu_network([4, 10, 8, 6, 1], seed=3, weight_scale=0.6)
+
+
+@pytest.fixture
+def nonneg_box4():
+    return Box(np.zeros(4), 0.8 * np.ones(4))

@@ -1,0 +1,165 @@
+"""Unit tests for repro.domains.box: geometry, set algebra, kappa."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box, affine_bounds, box_kappa
+from repro.errors import DomainError, ShapeError
+
+
+class TestConstruction:
+    def test_from_bounds(self):
+        b = Box.from_bounds([(0, 1), (-2, 3)])
+        np.testing.assert_array_equal(b.lower, [0, -2])
+        np.testing.assert_array_equal(b.upper, [1, 3])
+
+    def test_from_samples_with_buffer(self):
+        samples = np.array([[0.0, 1.0], [2.0, -1.0]])
+        b = Box.from_samples(samples, buffer=0.5)
+        np.testing.assert_array_equal(b.lower, [-0.5, -1.5])
+        np.testing.assert_array_equal(b.upper, [2.5, 1.5])
+
+    def test_centered(self):
+        b = Box.centered(np.array([1.0, 2.0]), 0.5)
+        np.testing.assert_array_equal(b.widths, [1.0, 1.0])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(DomainError):
+            Box(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ShapeError):
+            Box(np.zeros(2), np.zeros(3))
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(DomainError):
+            Box.centered(np.zeros(2), -1.0)
+
+
+class TestSetAlgebra:
+    def test_contains_point_boundary(self):
+        b = Box(np.zeros(2), np.ones(2))
+        assert b.contains_point(np.array([1.0, 0.0]))
+        assert not b.contains_point(np.array([1.1, 0.0]))
+
+    def test_contains_box(self):
+        outer = Box(np.zeros(2), np.ones(2) * 2)
+        inner = Box(np.ones(2) * 0.5, np.ones(2))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_containment_violation(self):
+        a = Box(np.zeros(1), np.ones(1))
+        b = Box(np.zeros(1), np.array([1.3]))
+        assert a.containment_violation(b) == pytest.approx(0.3)
+        assert a.containment_violation(a) == 0.0
+
+    def test_union_intersection(self):
+        a = Box(np.zeros(2), np.ones(2))
+        b = Box(np.ones(2) * 0.5, np.ones(2) * 2)
+        u = a.union(b)
+        np.testing.assert_array_equal(u.lower, [0, 0])
+        np.testing.assert_array_equal(u.upper, [2, 2])
+        i = a.intersection(b)
+        np.testing.assert_array_equal(i.lower, [0.5, 0.5])
+        np.testing.assert_array_equal(i.upper, [1, 1])
+
+    def test_disjoint_intersection_none(self):
+        a = Box(np.zeros(1), np.ones(1))
+        b = Box(np.array([2.0]), np.array([3.0]))
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_inflate(self):
+        b = Box(np.zeros(2), np.ones(2)).inflate(0.5)
+        np.testing.assert_array_equal(b.lower, [-0.5, -0.5])
+
+    def test_inflate_rejects_negative(self):
+        with pytest.raises(DomainError):
+            Box(np.zeros(1), np.ones(1)).inflate(-0.1)
+
+    def test_equality_and_hash(self):
+        a = Box(np.zeros(2), np.ones(2))
+        b = Box(np.zeros(2), np.ones(2))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestGeometry:
+    def test_clip_and_distance(self):
+        b = Box(np.zeros(2), np.ones(2))
+        x = np.array([2.0, 0.5])
+        np.testing.assert_array_equal(b.clip_point(x), [1.0, 0.5])
+        assert b.distance_to_point(x) == pytest.approx(1.0)
+        assert b.distance_to_point(np.array([0.5, 0.5])) == 0.0
+
+    def test_sample_inside(self, rng):
+        b = Box(np.array([-1.0, 2.0]), np.array([0.0, 5.0]))
+        xs = b.sample(100, rng)
+        assert xs.shape == (100, 2)
+        assert all(b.contains_point(x) for x in xs)
+
+    def test_corners(self):
+        b = Box(np.zeros(2), np.ones(2))
+        corners = b.corners()
+        assert corners.shape == (4, 2)
+
+    def test_corners_guard(self):
+        b = Box(np.zeros(20), np.ones(20))
+        with pytest.raises(DomainError):
+            b.corners(limit=100)
+
+    def test_split_widest(self):
+        b = Box(np.zeros(2), np.array([1.0, 4.0]))
+        left, right = b.split()
+        assert left.upper[1] == 2.0 and right.lower[1] == 2.0
+        assert left.union(right) == b
+
+    def test_volume(self):
+        assert Box(np.zeros(2), np.array([2.0, 3.0])).volume() == 6.0
+
+
+class TestKappa:
+    def test_paper_example(self):
+        """Din=[1,2]^2 enlarged by 0.01 per side: kappa = sqrt(2)*0.01."""
+        din = Box(np.ones(2), 2 * np.ones(2))
+        enlarged = Box(np.ones(2) - 0.01, 2 * np.ones(2) + 0.01)
+        assert box_kappa(din, enlarged) == pytest.approx(np.sqrt(2) * 0.01)
+
+    def test_kappa_inf_norm(self):
+        din = Box(np.zeros(2), np.ones(2))
+        enlarged = din.inflate(np.array([0.1, 0.3]))
+        assert box_kappa(din, enlarged, ord=np.inf) == pytest.approx(0.3)
+
+    def test_kappa_zero_when_equal(self):
+        din = Box(np.zeros(3), np.ones(3))
+        assert box_kappa(din, din) == 0.0
+
+    def test_kappa_requires_containment(self):
+        din = Box(np.zeros(2), np.ones(2))
+        other = Box(np.ones(2) * 0.5, np.ones(2) * 0.6)
+        with pytest.raises(DomainError):
+            box_kappa(din, other)
+
+    def test_kappa_is_max_min_distance(self, rng):
+        """kappa upper-bounds the distance of every enlarged-domain point."""
+        din = Box(np.zeros(3), np.ones(3))
+        enlarged = din.inflate(np.array([0.2, 0.0, 0.1]))
+        kappa = box_kappa(din, enlarged)
+        xs = enlarged.sample(500, rng)
+        dists = [din.distance_to_point(x) for x in xs]
+        assert max(dists) <= kappa + 1e-12
+
+
+class TestAffineBounds:
+    def test_exactness_on_corners(self, rng):
+        w = rng.normal(size=(3, 2))
+        b = rng.normal(size=3)
+        box = Box(-np.ones(2), np.ones(2))
+        out = affine_bounds(w, b, box)
+        corner_vals = box.corners() @ w.T + b
+        np.testing.assert_allclose(out.lower, corner_vals.min(axis=0))
+        np.testing.assert_allclose(out.upper, corner_vals.max(axis=0))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            affine_bounds(np.zeros((2, 3)), np.zeros(2), Box(np.zeros(2), np.ones(2)))

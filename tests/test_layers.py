@@ -1,0 +1,200 @@
+"""Unit tests for repro.nn.layers: forward/backward semantics and shapes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayerError, ShapeError
+from repro.nn import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+
+class TestDense:
+    def test_forward_matches_matmul(self):
+        w = np.array([[1.0, 2.0], [3.0, -4.0], [0.0, 1.0]])
+        b = np.array([0.5, -0.5, 0.0])
+        layer = Dense(2, 3, weight=w, bias=b)
+        x = np.array([1.0, -1.0])
+        np.testing.assert_allclose(layer.forward(x), w @ x + b)
+
+    def test_batched_forward(self):
+        layer = Dense(3, 2, rng=np.random.default_rng(0))
+        xs = np.random.default_rng(1).normal(size=(5, 3))
+        ys = layer.forward(xs)
+        assert ys.shape == (5, 2)
+        np.testing.assert_allclose(ys[2], layer.forward(xs[2]))
+
+    def test_rejects_bad_weight_shape(self):
+        with pytest.raises(ShapeError):
+            Dense(2, 3, weight=np.zeros((2, 3)))
+
+    def test_rejects_bad_input_dim(self):
+        layer = Dense(2, 3, rng=np.random.default_rng(0))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros(4))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(LayerError):
+            Dense(0, 3)
+
+    def test_backward_gradients_numerically(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        y, cache = layer.forward(x, return_cache=True)
+        grad_out = rng.normal(size=y.shape)
+        grad_in, pgrads = layer.backward(grad_out, cache)
+
+        eps = 1e-6
+        # d(sum(grad_out * y))/dW numerically
+        for i in range(2):
+            for j in range(3):
+                layer.weight[i, j] += eps
+                up = np.sum(grad_out * layer.forward(x))
+                layer.weight[i, j] -= 2 * eps
+                down = np.sum(grad_out * layer.forward(x))
+                layer.weight[i, j] += eps
+                np.testing.assert_allclose(
+                    pgrads["weight"][i, j], (up - down) / (2 * eps), rtol=1e-5)
+        # input gradient
+        num_grad_in = np.zeros_like(x)
+        for n in range(4):
+            for j in range(3):
+                xp = x.copy()
+                xp[n, j] += eps
+                xm = x.copy()
+                xm[n, j] -= eps
+                num_grad_in[n, j] = (
+                    np.sum(grad_out * layer.forward(xp))
+                    - np.sum(grad_out * layer.forward(xm))
+                ) / (2 * eps)
+        np.testing.assert_allclose(grad_in, num_grad_in, rtol=1e-5, atol=1e-8)
+
+    def test_copy_is_deep(self):
+        layer = Dense(2, 2, rng=np.random.default_rng(0))
+        clone = layer.copy()
+        clone.weight[0, 0] += 1.0
+        assert layer.weight[0, 0] != clone.weight[0, 0]
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer,fn", [
+        (ReLU(), lambda x: np.maximum(x, 0)),
+        (LeakyReLU(0.1), lambda x: np.where(x > 0, x, 0.1 * x)),
+        (Tanh(), np.tanh),
+    ])
+    def test_forward_values(self, layer, fn):
+        x = np.linspace(-3, 3, 13)
+        np.testing.assert_allclose(layer.forward(x), fn(x))
+
+    def test_sigmoid_range_and_stability(self):
+        s = Sigmoid()
+        x = np.array([-1000.0, 0.0, 1000.0])
+        y = s.forward(x)
+        assert np.all((y >= 0) & (y <= 1))
+        np.testing.assert_allclose(y[1], 0.5)
+        assert np.isfinite(y).all()
+
+    def test_leaky_relu_rejects_bad_alpha(self):
+        with pytest.raises(LayerError):
+            LeakyReLU(alpha=1.5)
+
+    @pytest.mark.parametrize("layer", [ReLU(), LeakyReLU(0.05), Sigmoid(), Tanh()])
+    def test_backward_matches_numeric(self, layer):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=7)
+        y, cache = layer.forward(x, return_cache=True)
+        grad_out = rng.normal(size=y.shape)
+        grad_in, pgrads = layer.backward(grad_out, cache)
+        assert pgrads == {}
+        eps = 1e-6
+        num = np.array([
+            (np.sum(grad_out * layer.forward(x + eps * e))
+             - np.sum(grad_out * layer.forward(x - eps * e))) / (2 * eps)
+            for e in np.eye(7)
+        ])
+        np.testing.assert_allclose(grad_in, num, rtol=1e-4, atol=1e-8)
+
+    def test_shape_preserved(self):
+        for layer in (ReLU(), LeakyReLU(), Sigmoid(), Tanh()):
+            assert layer.out_dim(17) == 17
+
+
+class TestFlatten:
+    def test_identity_on_vectors(self):
+        f = Flatten()
+        x = np.arange(6.0)
+        np.testing.assert_array_equal(f.forward(x), x)
+
+    def test_flattens_single_image(self):
+        f = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 4)
+        assert f.forward(x).shape == (24,)
+
+    def test_flattens_batch(self):
+        f = Flatten()
+        x = np.arange(48.0).reshape(2, 2, 3, 4)
+        assert f.forward(x).shape == (2, 24)
+
+    def test_backward_restores_shape(self):
+        f = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 4)
+        y, cache = f.forward(x, return_cache=True)
+        grad, _ = f.backward(np.ones_like(y), cache)
+        assert grad.shape == x.shape
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        conv = Conv2D(3, 5, 3, stride=2, rng=np.random.default_rng(0))
+        x = np.zeros((3, 11, 11))
+        assert conv.forward(x).shape == (5, 5, 5)
+        assert conv.out_shape((3, 11, 11)) == (5, 5, 5)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(4)
+        conv = Conv2D(2, 3, 3, stride=1, rng=rng)
+        x = rng.normal(size=(2, 6, 6))
+        y = conv.forward(x)
+        # naive reference
+        for o in range(3):
+            for i in range(4):
+                for j in range(4):
+                    ref = np.sum(conv.weight[o] * x[:, i:i + 3, j:j + 3]) + conv.bias[o]
+                    np.testing.assert_allclose(y[o, i, j], ref)
+
+    def test_rejects_small_input(self):
+        conv = Conv2D(1, 1, 5, rng=np.random.default_rng(0))
+        with pytest.raises(ShapeError):
+            conv.forward(np.zeros((1, 3, 3)))
+
+    def test_backward_is_unsupported(self):
+        conv = Conv2D(1, 1, 2, rng=np.random.default_rng(0))
+        with pytest.raises(LayerError):
+            conv.backward(np.zeros((1, 1, 1)), {})
+
+
+class TestAvgPool2D:
+    def test_pooling_values(self):
+        pool = AvgPool2D(2)
+        x = np.arange(16.0).reshape(1, 4, 4)
+        y = pool.forward(x)
+        np.testing.assert_allclose(y[0, 0, 0], np.mean([0, 1, 4, 5]))
+        assert y.shape == (1, 2, 2)
+
+    def test_trims_ragged_edges(self):
+        pool = AvgPool2D(2)
+        x = np.ones((1, 5, 5))
+        assert pool.forward(x).shape == (1, 2, 2)
+
+    def test_rejects_pool_larger_than_input(self):
+        pool = AvgPool2D(8)
+        with pytest.raises(ShapeError):
+            pool.forward(np.ones((1, 4, 4)))

@@ -1,0 +1,140 @@
+"""Tests for Lipschitz estimation: norms, global bound, fastlip."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.errors import ShapeError, UnsupportedLayerError
+from repro.lipschitz import (
+    empirical_lipschitz,
+    global_lipschitz_bound,
+    interval_jacobian,
+    layer_lipschitz_bounds,
+    local_lipschitz_bound,
+    operator_norm,
+    spectral_norm,
+)
+from repro.nn import Dense, Network, ReLU, Sigmoid, Tanh, random_relu_network
+
+
+class TestNorms:
+    def test_spectral_norm_diagonal(self):
+        assert spectral_norm(np.diag([3.0, -5.0, 1.0])) == pytest.approx(5.0)
+
+    def test_spectral_norm_matches_svd(self, rng):
+        for _ in range(5):
+            w = rng.normal(size=(6, 4))
+            assert spectral_norm(w) == pytest.approx(
+                np.linalg.norm(w, 2), rel=1e-6)
+
+    def test_spectral_norm_zero_matrix(self):
+        assert spectral_norm(np.zeros((3, 3))) == 0.0
+
+    def test_operator_norm_one_inf(self):
+        w = np.array([[1.0, -2.0], [3.0, 4.0]])
+        assert operator_norm(w, 1) == pytest.approx(6.0)   # max col sum
+        assert operator_norm(w, np.inf) == pytest.approx(7.0)  # max row sum
+
+    def test_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            spectral_norm(np.zeros(3))
+        with pytest.raises(ShapeError):
+            operator_norm(np.zeros((2, 2)), 3)
+
+
+class TestGlobalBound:
+    def test_linear_network_exact(self, rng):
+        w = rng.normal(size=(2, 3))
+        net = Network([Dense(3, 2, weight=w, bias=np.zeros(2))], input_dim=3)
+        assert global_lipschitz_bound(net) == pytest.approx(np.linalg.norm(w, 2))
+
+    def test_upper_bounds_empirical(self, rng):
+        for seed in range(4):
+            net = random_relu_network([3, 10, 8, 2], seed=seed)
+            box = Box(-np.ones(3), np.ones(3))
+            ell = global_lipschitz_bound(net)
+            emp = empirical_lipschitz(net, box.sample(150, rng))
+            assert emp <= ell + 1e-9
+
+    def test_per_layer_factors_multiply(self, small_net):
+        items = layer_lipschitz_bounds(small_net)
+        product = 1.0
+        for item in items:
+            product *= item.factor
+        assert global_lipschitz_bound(small_net) == pytest.approx(product)
+
+    def test_sigmoid_quarter_constant(self):
+        net = Network(
+            [Dense(2, 2, weight=np.eye(2), bias=np.zeros(2)), Sigmoid()],
+            input_dim=2)
+        assert global_lipschitz_bound(net) == pytest.approx(0.25)
+
+    def test_tanh_unit_constant(self):
+        net = Network(
+            [Dense(2, 2, weight=np.eye(2), bias=np.zeros(2)), Tanh()],
+            input_dim=2)
+        assert global_lipschitz_bound(net) == pytest.approx(1.0)
+
+
+class TestFastLip:
+    def test_local_usually_tighter_on_small_boxes(self):
+        """On small boxes many neurons are stable, so the interval
+        Jacobian collapses and the local bound beats the global product
+        (not a theorem on large boxes, hence the tiny domain here)."""
+        wins = 0
+        for seed in range(4):
+            net = random_relu_network([4, 10, 8, 1], seed=seed)
+            box = Box(0.4 * np.ones(4), 0.6 * np.ones(4))
+            if local_lipschitz_bound(net, box) <= global_lipschitz_bound(net):
+                wins += 1
+        assert wins >= 3
+
+    def test_local_geq_empirical(self, rng):
+        net = random_relu_network([3, 8, 6, 1], seed=2)
+        box = Box(-0.5 * np.ones(3), 0.5 * np.ones(3))
+        local = local_lipschitz_bound(net, box)
+        emp = empirical_lipschitz(net, box.sample(200, rng))
+        assert emp <= local + 1e-9
+
+    def test_interval_jacobian_contains_true_jacobians(self, rng):
+        net = random_relu_network([3, 6, 1], seed=4)
+        box = Box(-np.ones(3), np.ones(3))
+        j_lo, j_hi = interval_jacobian(net, box)
+        for x in box.sample(100, rng):
+            mask = (net.blocks()[0].dense.forward(x) > 0).astype(float)
+            j = net.blocks()[1].dense.weight @ np.diag(mask) @ \
+                net.blocks()[0].dense.weight
+            assert np.all(j >= j_lo - 1e-9)
+            assert np.all(j <= j_hi + 1e-9)
+
+    def test_stable_region_exact(self):
+        """Deep in the active region the Jacobian interval is a point."""
+        w1 = np.eye(2)
+        net = Network(
+            [Dense(2, 2, weight=w1, bias=np.ones(2) * 10), ReLU(),
+             Dense(2, 1, weight=np.array([[1.0, 1.0]]), bias=np.zeros(1))],
+            input_dim=2)
+        box = Box(np.zeros(2), np.ones(2))
+        j_lo, j_hi = interval_jacobian(net, box)
+        np.testing.assert_allclose(j_lo, j_hi)
+        np.testing.assert_allclose(j_lo, [[1.0, 1.0]])
+
+    def test_sigmoid_unsupported(self):
+        net = Network(
+            [Dense(2, 2, weight=np.eye(2), bias=np.zeros(2)), Sigmoid()],
+            input_dim=2)
+        with pytest.raises(UnsupportedLayerError):
+            local_lipschitz_bound(net, Box(np.zeros(2), np.ones(2)))
+
+
+class TestEmpirical:
+    def test_known_slope(self):
+        net = Network(
+            [Dense(1, 1, weight=np.array([[3.0]]), bias=np.zeros(1))],
+            input_dim=1)
+        samples = np.linspace(-1, 1, 20)[:, None]
+        assert empirical_lipschitz(net, samples) == pytest.approx(3.0)
+
+    def test_needs_two_samples(self, small_net):
+        with pytest.raises(UnsupportedLayerError):
+            empirical_lipschitz(small_net, np.zeros((1, 3)))

@@ -1,0 +1,96 @@
+"""Tests for the runtime box monitor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import BoxMonitor, summarize_events
+
+
+class TestCalibration:
+    def test_din_covers_samples_with_buffer(self, rng):
+        mon = BoxMonitor(buffer=0.1)
+        feats = rng.normal(size=(100, 5))
+        din = mon.calibrate(feats)
+        assert all(din.contains_point(f) for f in feats)
+        np.testing.assert_allclose(din.lower, feats.min(axis=0) - 0.1)
+
+    def test_uncalibrated_raises(self):
+        mon = BoxMonitor()
+        with pytest.raises(MonitorError):
+            mon.observe(np.zeros(3))
+        with pytest.raises(MonitorError):
+            _ = mon.din
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(MonitorError):
+            BoxMonitor(buffer=-1.0)
+
+
+class TestObservation:
+    def test_in_distribution_no_events(self, rng):
+        mon = BoxMonitor(buffer=0.5)
+        feats = rng.uniform(size=(50, 3))
+        mon.calibrate(feats)
+        flags = mon.observe_batch(rng.uniform(size=(30, 3)))
+        assert flags.all()
+        assert mon.out_of_bound_count == 0
+        assert mon.enlarged_box() == mon.din
+        assert mon.delta_box() is None
+
+    def test_out_of_distribution_detected(self, rng):
+        mon = BoxMonitor(buffer=0.0)
+        mon.calibrate(rng.uniform(size=(50, 3)))
+        outlier = np.array([5.0, 0.5, 0.5])
+        assert not mon.observe(outlier)
+        assert mon.out_of_bound_count == 1
+        event = mon.events[0]
+        assert 0 in event.dimensions
+        assert event.excess > 3.5
+
+    def test_enlarged_box_contains_outliers(self, rng):
+        mon = BoxMonitor(buffer=0.0)
+        mon.calibrate(rng.uniform(size=(50, 2)))
+        mon.observe(np.array([2.0, 0.5]))
+        mon.observe(np.array([0.5, -1.0]))
+        big = mon.enlarged_box()
+        assert big.contains_box(mon.din)
+        assert big.contains_point(np.array([2.0, 0.5]))
+        assert big.contains_point(np.array([0.5, -1.0]))
+
+    def test_kappa_positive_after_enlargement(self, rng):
+        mon = BoxMonitor(buffer=0.0)
+        mon.calibrate(rng.uniform(size=(50, 2)))
+        assert mon.kappa() == 0.0
+        mon.observe(np.array([3.0, 0.5]))
+        assert mon.kappa() > 0.0
+
+    def test_dimension_mismatch(self, rng):
+        mon = BoxMonitor()
+        mon.calibrate(rng.uniform(size=(10, 3)))
+        with pytest.raises(MonitorError):
+            mon.observe(np.zeros(4))
+
+    def test_recalibration_resets(self, rng):
+        mon = BoxMonitor()
+        mon.calibrate(rng.uniform(size=(10, 2)))
+        mon.observe(np.array([9.0, 9.0]))
+        assert mon.out_of_bound_count == 1
+        mon.calibrate(rng.uniform(size=(10, 2)))
+        assert mon.out_of_bound_count == 0
+
+
+class TestEventSummary:
+    def test_empty(self):
+        assert summarize_events([]) == {
+            "count": 0, "max_excess": 0.0, "dimensions_touched": 0}
+
+    def test_aggregates(self, rng):
+        mon = BoxMonitor()
+        mon.calibrate(rng.uniform(size=(20, 3)))
+        mon.observe(np.array([5.0, 0.5, 0.5]))
+        mon.observe(np.array([0.5, 0.5, -7.0]))
+        s = summarize_events(mon.events)
+        assert s["count"] == 2
+        assert s["dimensions_touched"] == 2
+        assert s["max_excess"] >= 7.0

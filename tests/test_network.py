@@ -1,0 +1,122 @@
+"""Unit tests for repro.nn.network: blocks, slicing, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayerError, ShapeError
+from repro.nn import Dense, Flatten, Network, ReLU, Sigmoid, random_relu_network
+
+
+class TestBlockStructure:
+    def test_blocks_group_dense_and_activation(self, small_net):
+        blocks = small_net.blocks()
+        assert len(blocks) == 3
+        assert blocks[0].activation is not None
+        assert blocks[-1].activation is None  # linear output block
+
+    def test_block_dims(self, small_net):
+        assert small_net.block_dims() == [3, 16, 8, 2]
+        assert small_net.output_dim == 2
+
+    def test_leading_flatten_allowed(self):
+        net = Network([Flatten(), Dense(4, 2, rng=np.random.default_rng(0))],
+                      input_dim=4)
+        assert net.num_blocks == 1
+        y = net.forward(np.ones(4))
+        assert y.shape == (2,)
+
+    def test_rejects_activation_first(self):
+        with pytest.raises(LayerError):
+            Network([ReLU(), Dense(2, 2, rng=np.random.default_rng(0))], input_dim=2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(LayerError):
+            Network([], input_dim=2)
+
+    def test_rejects_bad_input_dim(self):
+        with pytest.raises(ShapeError):
+            Network([Dense(2, 2, rng=np.random.default_rng(0))], input_dim=0)
+
+
+class TestEvaluation:
+    def test_forward_composes_blocks(self, small_net, rng):
+        x = rng.normal(size=3)
+        y = x
+        for blk in small_net.blocks():
+            y = blk.forward(y)
+        np.testing.assert_allclose(small_net.forward(x), y)
+
+    def test_forward_blocks_prefix(self, small_net, rng):
+        x = rng.normal(size=3)
+        v1 = small_net.forward_blocks(x, 1)
+        assert v1.shape == (16,)
+        v3 = small_net.forward_blocks(x, 3)
+        np.testing.assert_allclose(v3, small_net.forward(x))
+
+    def test_activations_list(self, small_net, rng):
+        x = rng.normal(size=3)
+        acts = small_net.activations(x)
+        assert [a.shape[0] for a in acts] == [16, 8, 2]
+        np.testing.assert_allclose(acts[-1], small_net.forward(x))
+
+    def test_callable(self, small_net, rng):
+        x = rng.normal(size=3)
+        np.testing.assert_allclose(small_net(x), small_net.forward(x))
+
+    def test_forward_blocks_range_check(self, small_net):
+        with pytest.raises(ShapeError):
+            small_net.forward_blocks(np.zeros(3), 5)
+
+
+class TestSubnetwork:
+    def test_subnetwork_composition(self, small_net, rng):
+        head = small_net.subnetwork(0, 2)
+        tail = small_net.subnetwork(2)
+        x = rng.normal(size=3)
+        np.testing.assert_allclose(
+            tail.forward(head.forward(x)), small_net.forward(x))
+
+    def test_subnetwork_shares_nothing(self, small_net):
+        head = small_net.subnetwork(0, 1)
+        head.blocks()[0].dense.weight[:] = 0.0
+        assert np.any(small_net.blocks()[0].dense.weight != 0.0)
+
+    def test_invalid_range(self, small_net):
+        with pytest.raises(ShapeError):
+            small_net.subnetwork(2, 2)
+        with pytest.raises(ShapeError):
+            small_net.subnetwork(-1, 2)
+
+
+class TestEditing:
+    def test_copy_independent(self, small_net, rng):
+        clone = small_net.copy()
+        x = rng.normal(size=3)
+        np.testing.assert_allclose(clone.forward(x), small_net.forward(x))
+        clone.blocks()[0].dense.bias += 10.0
+        assert not np.allclose(clone.forward(x), small_net.forward(x))
+
+    def test_perturb_moves_weights(self, small_net):
+        noisy = small_net.perturb(0.1, np.random.default_rng(0))
+        assert small_net.max_weight_delta(noisy) > 0.0
+
+    def test_perturb_respects_frozen_blocks(self, small_net):
+        noisy = small_net.perturb(0.1, np.random.default_rng(0), frozen_blocks=[0])
+        np.testing.assert_array_equal(
+            noisy.blocks()[0].dense.weight, small_net.blocks()[0].dense.weight)
+
+    def test_max_weight_delta_zero_for_copy(self, small_net):
+        assert small_net.max_weight_delta(small_net.copy()) == 0.0
+
+    def test_max_weight_delta_shape_mismatch(self, small_net):
+        other = random_relu_network([3, 4, 2], seed=0)
+        with pytest.raises(ShapeError):
+            small_net.max_weight_delta(other)
+
+    def test_sigmoid_output_block(self):
+        net = Network(
+            [Dense(2, 3, rng=np.random.default_rng(0)), ReLU(),
+             Dense(3, 1, rng=np.random.default_rng(1)), Sigmoid()],
+            input_dim=2)
+        assert net.num_blocks == 2
+        assert isinstance(net.blocks()[1].activation, Sigmoid)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.nn.training: losses decrease, freezing works."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import TrainConfig, fine_tune, mse_loss, random_relu_network, train
+
+
+def _linear_task(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = (x @ np.array([1.0, -2.0, 0.5]))[:, None]
+    return x, y
+
+
+class TestMSELoss:
+    def test_zero_at_perfect_prediction(self):
+        p = np.ones((4, 2))
+        loss, grad = mse_loss(p, p.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(p))
+
+    def test_gradient_direction(self):
+        pred = np.array([[1.0]])
+        target = np.array([[0.0]])
+        loss, grad = mse_loss(pred, target)
+        assert loss == 1.0 and grad[0, 0] > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mse_loss(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestTrain:
+    def test_sgd_reduces_loss(self):
+        x, y = _linear_task()
+        net = random_relu_network([3, 16, 1], seed=1)
+        res = train(net, x, y, TrainConfig(epochs=30, learning_rate=0.01))
+        assert res.final_loss < 0.25 * res.losses[0]
+
+    def test_adam_reduces_loss(self):
+        x, y = _linear_task()
+        net = random_relu_network([3, 16, 1], seed=2)
+        res = train(net, x, y,
+                    TrainConfig(epochs=30, learning_rate=3e-3, optimizer="adam"))
+        assert res.final_loss < 0.25 * res.losses[0]
+
+    def test_deterministic_given_seed(self):
+        x, y = _linear_task()
+        n1 = random_relu_network([3, 8, 1], seed=3)
+        n2 = random_relu_network([3, 8, 1], seed=3)
+        train(n1, x, y, TrainConfig(epochs=5, seed=9))
+        train(n2, x, y, TrainConfig(epochs=5, seed=9))
+        assert n1.max_weight_delta(n2) == 0.0
+
+    def test_frozen_blocks_do_not_move(self):
+        x, y = _linear_task()
+        net = random_relu_network([3, 8, 1], seed=4)
+        w0 = net.blocks()[0].dense.weight.copy()
+        train(net, x, y, TrainConfig(epochs=5, frozen_blocks=[0]))
+        np.testing.assert_array_equal(net.blocks()[0].dense.weight, w0)
+        # but the unfrozen block moved
+        assert not np.allclose(net.blocks()[1].dense.weight, 0.0)
+
+    def test_rejects_bad_shapes(self):
+        net = random_relu_network([3, 4, 1], seed=0)
+        with pytest.raises(ShapeError):
+            train(net, np.zeros(3), np.zeros(1))
+        with pytest.raises(ShapeError):
+            train(net, np.zeros((4, 3)), np.zeros((5, 1)))
+
+    def test_scalar_targets_accepted(self):
+        x, y = _linear_task()
+        net = random_relu_network([3, 8, 1], seed=5)
+        res = train(net, x, y[:, 0], TrainConfig(epochs=2))
+        assert len(res.losses) == 2
+
+
+class TestFineTune:
+    def test_returns_new_network_with_small_delta(self):
+        x, y = _linear_task()
+        net = random_relu_network([3, 8, 1], seed=6)
+        train(net, x, y, TrainConfig(epochs=20, learning_rate=0.01))
+        tuned = fine_tune(net, x, y, learning_rate=1e-3, epochs=2)
+        assert tuned is not net
+        delta = net.max_weight_delta(tuned)
+        assert 0.0 <= delta < 0.05
+
+    def test_fine_tune_respects_frozen(self):
+        x, y = _linear_task()
+        net = random_relu_network([3, 8, 1], seed=7)
+        tuned = fine_tune(net, x, y, frozen_blocks=[0], epochs=1)
+        np.testing.assert_array_equal(
+            tuned.blocks()[0].dense.weight, net.blocks()[0].dense.weight)
+
+    def test_fine_tune_improves_on_shifted_labels(self):
+        x, y = _linear_task()
+        net = random_relu_network([3, 16, 1], seed=8)
+        train(net, x, y, TrainConfig(epochs=30, learning_rate=0.01))
+        y_shift = y + 0.05
+        before = mse_loss(np.atleast_2d(net.forward(x)).reshape(y.shape), y_shift)[0]
+        tuned = fine_tune(net, x, y_shift, learning_rate=1e-2, epochs=10)
+        after = mse_loss(np.atleast_2d(tuned.forward(x)).reshape(y.shape), y_shift)[0]
+        assert after < before
