@@ -9,8 +9,11 @@ enlargements recorded by the runtime monitor under increasing drift.
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -37,6 +40,30 @@ from repro.vehicle import (
 
 #: Number of incremental tuning steps (Table I has four cases).
 NUM_CASES = 4
+
+
+def emit_json(name: str, results, path: Optional[str] = None) -> str:
+    """Emit one machine-readable benchmark record.
+
+    Wraps ``results`` (any JSON-serialisable structure) with the benchmark
+    name, a timestamp, and enough environment fingerprint to compare runs
+    across PRs; prints the record to stdout and optionally writes it to
+    ``path``.  Returns the serialised text so callers can post-process.
+    """
+    record = {
+        "benchmark": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    text = json.dumps(record, indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return text
 
 #: State-abstraction buffer used by every baseline verification.
 STATE_BUFFER = 0.05

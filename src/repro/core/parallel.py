@@ -12,20 +12,50 @@ footnote 3).  This module provides both conventions over any list of
 
 ``run_parallel`` additionally executes callables on a real thread pool;
 per-task wall times are measured inside the workers so the accounting stays
-meaningful even when threads contend.
+meaningful even when threads contend.  Calls share one lazily-created
+module-level pool sized from ``os.cpu_count()`` -- spinning up fresh
+threads per call costs more than many of the subproblems themselves -- with
+a per-call semaphore enforcing the requested ``workers`` concurrency.
+Re-entrant calls and requests wider than the machine fall back to a
+private per-call pool so they are never starved or silently narrowed.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Sequence, Tuple
+from concurrent.futures import wait as futures_wait
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.core.propositions import SubproblemReport
 
 __all__ = ["sequential_time", "parallel_time", "makespan", "run_parallel"]
+
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_LOCK = threading.Lock()
+_POOL_THREAD_PREFIX = "repro-subproblem"
+_POOL_SIZE = max(1, os.cpu_count() or 1)
+#: Shared-pool width reserved by in-flight run_parallel calls (guarded by
+#: _POOL_LOCK).  Every call reserves its full concurrent width up front, so
+#: the sum of reservations never exceeds the pool and no admitted task can
+#: queue behind another call's blocked tasks.
+_RESERVED = 0
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    """The module-level executor, created on first use."""
+    global _POOL
+    if _POOL is None:
+        with _POOL_LOCK:
+            if _POOL is None:
+                _POOL = ThreadPoolExecutor(
+                    max_workers=_POOL_SIZE,
+                    thread_name_prefix=_POOL_THREAD_PREFIX)
+    return _POOL
 
 
 def sequential_time(subproblems: Sequence[SubproblemReport]) -> float:
@@ -61,6 +91,7 @@ def run_parallel(tasks: Sequence[Tuple[str, Callable[[], object]]],
     Returns ``[(name, result, elapsed), ...]`` in submission order.  LP
     solving in HiGHS releases the GIL, so layer checks genuinely overlap.
     """
+    global _RESERVED
     if workers <= 0:
         raise ReproError(f"workers must be positive, got {workers}")
 
@@ -69,10 +100,55 @@ def run_parallel(tasks: Sequence[Tuple[str, Callable[[], object]]],
         value = thunk()
         return value, time.perf_counter() - t0
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(timed, thunk) for _, thunk in tasks]
+    # This call occupies at most min(workers, len(tasks)) pool threads at
+    # once (submission is gated below).  Reserve that width atomically with
+    # the admission decision; a call the shared pool cannot host in full --
+    # re-entrant from a pool task, wider than the machine, or arriving while
+    # other calls hold the remaining width -- gets the old per-call pool, so
+    # its tasks can never queue behind (and deadlock on) blocked strangers
+    # or ancestors.  Private pools carry the same thread-name prefix so
+    # arbitrarily deep nesting keeps diverting here.
+    width = min(workers, len(tasks))
+    nested = threading.current_thread().name.startswith(_POOL_THREAD_PREFIX)
+    admitted = False
+    if not nested and workers <= _POOL_SIZE:
+        with _POOL_LOCK:
+            if _RESERVED + width <= _POOL_SIZE:
+                _RESERVED += width
+                admitted = True
+    if not admitted:
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix=_POOL_THREAD_PREFIX) as pool:
+            futures = [pool.submit(timed, thunk) for _, thunk in tasks]
+            return [(name, *future.result())
+                    for (name, _), future in zip(tasks, futures)]
+
+    # The semaphore gates *submission* (released by the worker on
+    # completion), so queued tasks never occupy pool threads and the
+    # reservation bound holds.
+    gate = threading.BoundedSemaphore(workers)
+
+    def gated(thunk: Callable[[], object]) -> Tuple[object, float]:
+        try:
+            return timed(thunk)
+        finally:
+            gate.release()
+
+    pool = _shared_pool()
+    futures = []
+    try:
+        for _, thunk in tasks:
+            gate.acquire()
+            futures.append(pool.submit(gated, thunk))
         results = []
         for (name, _), future in zip(tasks, futures):
             value, elapsed = future.result()
             results.append((name, value, elapsed))
-    return results
+        return results
+    finally:
+        # Match the per-call pool's shutdown barrier on *every* exit path
+        # (including interrupts): no task of this call outlives it, and the
+        # reservation is only returned once its threads are actually free.
+        futures_wait(futures)
+        with _POOL_LOCK:
+            _RESERVED -= width

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ArtifactError
+from repro.domains.batch import screen_containments
 from repro.domains.box import Box, box_kappa
 from repro.domains.propagate import get_propagator
 from repro.exact.verify import ContainmentResult, check_containment
@@ -114,6 +115,24 @@ def _states_premise(artifacts: ProofArtifacts) -> Optional[str]:
         return ("stored state abstractions did not establish S_n ⊆ Dout; "
                 "they cannot be reused as a safety proof")
     return None
+
+
+def _batched_prescreen(triples, enabled: bool):
+    """Screen ``(subnetwork, source, target)`` containment subproblems in one
+    batched stacked-interval pass (see
+    :func:`repro.domains.batch.screen_containments`).
+
+    Returns the per-subproblem verdict list (``True`` / ``None``) and the
+    per-subproblem share of the screen's wall-clock time.  Every report --
+    screened *and* surviving -- carries its share, so summed subproblem
+    times keep accounting for the whole batched call (Table I fidelity).
+    """
+    if not enabled or not triples:
+        return [None] * len(triples), 0.0
+    t0 = time.perf_counter()
+    verdicts = screen_containments(triples)
+    elapsed = time.perf_counter() - t0
+    return verdicts, elapsed / len(triples)
 
 
 # --------------------------------------------------------------------- SVuDC
@@ -217,7 +236,8 @@ def check_prop3(artifacts: ProofArtifacts, enlarged_din: Box,
 def check_prop4(artifacts: ProofArtifacts, new_network: Network,
                 enlarged_din: Optional[Box] = None,
                 method: str = "auto", node_limit: int = 2000,
-                stop_on_failure: bool = False) -> PropositionResult:
+                stop_on_failure: bool = False,
+                prescreen: bool = True) -> PropositionResult:
     """Proposition 4 (reusing state abstraction, single layer).
 
     ``n`` independent one-layer checks on the *new* network:
@@ -225,6 +245,13 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
     * ``Din ∪ Δin --g'_1--> S_1``,
     * ``S_i --g'_{i+1}--> S_{i+1}`` for ``i = 1 … n-2``,
     * ``S_{n-1} --g'_n--> Dout``.
+
+    With ``prescreen`` on (the default), all ``n`` subproblem boxes are
+    first screened in one batched stacked-interval pass
+    (:func:`~repro.domains.batch.screen_containments`); only the survivors
+    fall back to per-subproblem exact checks.  The screen is sound (and, for
+    single-block subproblems, its interval bound is exact), so verdicts are
+    unchanged -- passing layers just stop paying one propagator run each.
 
     With ``stop_on_failure=False`` every subproblem runs (the parallel
     execution model); the per-subproblem reports feed both the max-time
@@ -238,20 +265,34 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
     states = artifacts.states
     n = new_network.num_blocks
     din = enlarged_din if enlarged_din is not None else artifacts.problem.din
-    subproblems: List[SubproblemReport] = []
-    holds = True
+    triples = []
     for i in range(n):
         source = din if i == 0 else states.layer(i - 1)
         target = artifacts.problem.dout if i == n - 1 else states.layer(i)
-        layer = new_network.subnetwork(i, i + 1)
-        res = check_containment(layer, source, target, method=method,
-                                node_limit=node_limit)
+        triples.append((new_network.subnetwork(i, i + 1), source, target))
+    screened, screen_share = _batched_prescreen(triples, prescreen)
+    subproblems: List[SubproblemReport] = []
+    holds = True
+    for i, (layer, source, target) in enumerate(triples):
         name = ("Din∪Δin -> S_1" if i == 0
                 else f"S_{n - 1} -> Dout" if i == n - 1
                 else f"S_{i} -> S_{i + 1}")
-        subproblems.append(SubproblemReport.from_containment(name, res))
+        if screened[i] is True:
+            subproblems.append(SubproblemReport(
+                name=name, holds=True, elapsed=screen_share,
+                detail="batched box pre-screen"))
+            continue
+        res = check_containment(layer, source, target, method=method,
+                                node_limit=node_limit)
+        report = SubproblemReport.from_containment(name, res)
+        report.elapsed += screen_share
+        subproblems.append(report)
         if res.holds is not True:
-            holds = False if res.holds is False else None
+            # A definite refutation must survive later inconclusive checks.
+            if res.holds is False:
+                holds = False
+            elif holds is True:
+                holds = None
             if stop_on_failure:
                 break
     verdict = True if holds is True else holds
@@ -262,13 +303,17 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
 
 def check_prop5(artifacts: ProofArtifacts, new_network: Network,
                 alphas: Sequence[int], enlarged_din: Optional[Box] = None,
-                method: str = "auto", node_limit: int = 2000) -> PropositionResult:
+                method: str = "auto", node_limit: int = 2000,
+                prescreen: bool = True) -> PropositionResult:
     """Proposition 5 (reusing state abstraction, multiple layers).
 
     ``alphas`` are the reused boundaries in paper numbering
     (``1 < α_1 < … < α_l < n-1``... given 1-based layers; here: block
     indices ``0 < α < n``, the boundary *after* block ``α``).  Each segment
     between consecutive reuse points is one independent multi-block check.
+
+    Like :func:`check_prop4`, all segments are pre-screened in one batched
+    interval pass before any exact per-segment check runs.
     """
     started = time.perf_counter()
     premise_gap = _states_premise(artifacts)
@@ -284,19 +329,34 @@ def check_prop5(artifacts: ProofArtifacts, new_network: Network,
             f"got {alphas}"
         )
     cuts = [0] + alphas + [n]
-    subproblems: List[SubproblemReport] = []
-    holds = True
+    triples = []
     for seg_start, seg_end in zip(cuts[:-1], cuts[1:]):
         source = din if seg_start == 0 else states.layer(seg_start - 1)
         target = artifacts.problem.dout if seg_end == n else states.layer(seg_end - 1)
-        segment = new_network.subnetwork(seg_start, seg_end)
-        res = check_containment(segment, source, target, method=method,
-                                node_limit=node_limit)
+        triples.append((new_network.subnetwork(seg_start, seg_end), source, target))
+    screened, screen_share = _batched_prescreen(triples, prescreen)
+    subproblems: List[SubproblemReport] = []
+    holds = True
+    for j, (seg_start, seg_end) in enumerate(zip(cuts[:-1], cuts[1:])):
+        segment, source, target = triples[j]
         name = (f"blocks[{seg_start}:{seg_end}] -> "
                 + ("Dout" if seg_end == n else f"S_{seg_end}"))
-        subproblems.append(SubproblemReport.from_containment(name, res))
+        if screened[j] is True:
+            subproblems.append(SubproblemReport(
+                name=name, holds=True, elapsed=screen_share,
+                detail="batched box pre-screen"))
+            continue
+        res = check_containment(segment, source, target, method=method,
+                                node_limit=node_limit)
+        report = SubproblemReport.from_containment(name, res)
+        report.elapsed += screen_share
+        subproblems.append(report)
         if res.holds is not True:
-            holds = False if res.holds is False else None
+            # A definite refutation must survive later inconclusive checks.
+            if res.holds is False:
+                holds = False
+            elif holds is True:
+                holds = None
     return _timed("prop5", started, True if holds is True else holds, subproblems,
                   f"reuse points {alphas}")
 

@@ -1,6 +1,20 @@
-"""Abstract domains: boxes, ReluVal-style symbolic intervals, zonotopes."""
+"""Abstract domains: boxes, ReluVal-style symbolic intervals, zonotopes --
+scalar propagators plus the batched engine vectorizing each over N boxes."""
 
 from repro.domains.box import Box, BoxPropagator, affine_bounds, box_kappa
+from repro.domains.batch import (
+    BATCHED_PROPAGATORS,
+    BatchedBoxPropagator,
+    BatchedSymbolicPropagator,
+    BatchedZonotopePropagator,
+    BoxBatch,
+    SymbolicBatch,
+    ZonotopeBatch,
+    get_batched_propagator,
+    phase_clamped_objective_bounds,
+    propagate_batch,
+    screen_containments,
+)
 from repro.domains.symbolic import SymbolicInterval, SymbolicPropagator
 from repro.domains.zonotope import Zonotope, ZonotopePropagator
 from repro.domains.backward import BackwardRefinement, refine_input_box
@@ -10,24 +24,39 @@ from repro.domains.propagate import (
     PROPAGATORS,
     get_propagator,
     output_box,
+    output_box_batch,
     propagate_network,
+    propagate_network_batch,
 )
 
 __all__ = [
     "BackwardRefinement",
+    "BATCHED_PROPAGATORS",
+    "BatchedBoxPropagator",
+    "BatchedSymbolicPropagator",
+    "BatchedZonotopePropagator",
     "Box",
+    "BoxBatch",
     "DeepPolyPropagator",
     "inductive_states",
     "refine_input_box",
     "BoxPropagator",
     "PROPAGATORS",
+    "SymbolicBatch",
     "SymbolicInterval",
     "SymbolicPropagator",
     "Zonotope",
+    "ZonotopeBatch",
     "ZonotopePropagator",
     "affine_bounds",
     "box_kappa",
+    "get_batched_propagator",
     "get_propagator",
     "output_box",
+    "output_box_batch",
+    "phase_clamped_objective_bounds",
+    "propagate_batch",
     "propagate_network",
+    "propagate_network_batch",
+    "screen_containments",
 ]

@@ -50,6 +50,21 @@ class Box:
         object.__setattr__(self, "upper", np.maximum(upper, lower))
 
     # ------------------------------------------------------------ constructors
+    @classmethod
+    def unsafe(cls, lower: np.ndarray, upper: np.ndarray) -> "Box":
+        """Validation-free fast-path constructor for propagator inner loops.
+
+        Skips ``__post_init__`` entirely: the caller must supply 1-D float64
+        arrays of equal shape with ``lower <= upper`` and treat them as
+        immutable.  All public entry points keep using the validating
+        constructor; this path exists because bound propagation constructs
+        thousands of boxes whose invariants hold by arithmetic.
+        """
+        box = object.__new__(cls)
+        object.__setattr__(box, "lower", lower)
+        object.__setattr__(box, "upper", upper)
+        return box
+
     @staticmethod
     def from_bounds(bounds: Sequence[Tuple[float, float]]) -> "Box":
         """Build from ``[(l1, u1), (l2, u2), ...]``."""
@@ -105,6 +120,14 @@ class Box:
         if x.shape != self.lower.shape:
             raise ShapeError(f"point dim {x.size} != box dim {self.dim}")
         return bool(np.all(x >= self.lower - tol) and np.all(x <= self.upper + tol))
+
+    def contains_points(self, points: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Vectorised :meth:`contains_point`: per-row mask for ``(N, d)``
+        samples -- the monitor's window-screening primitive."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if pts.ndim != 2 or pts.shape[1] != self.dim:
+            raise ShapeError(f"points shape {pts.shape} != (N, {self.dim})")
+        return np.all((pts >= self.lower - tol) & (pts <= self.upper + tol), axis=1)
 
     def contains_box(self, other: "Box", tol: float = 1e-9) -> bool:
         self._check_same_dim(other)
@@ -248,7 +271,7 @@ def affine_bounds(weight: np.ndarray, bias: np.ndarray, box: Box) -> Box:
         raise ShapeError(f"weight expects dim {weight.shape[1]}, box has {box.dim}")
     center = weight @ box.center + bias
     radius = np.abs(weight) @ box.radius
-    return Box(center - radius, center + radius)
+    return Box.unsafe(center - radius, center + radius)
 
 
 class BoxPropagator:
@@ -268,14 +291,14 @@ class BoxPropagator:
     def propagate_activation(act, box: Box) -> Box:
         """Monotone elementwise activations map boxes to boxes exactly."""
         if isinstance(act, ReLU):
-            return Box(np.maximum(box.lower, 0.0), np.maximum(box.upper, 0.0))
+            return Box.unsafe(np.maximum(box.lower, 0.0), np.maximum(box.upper, 0.0))
         if isinstance(act, LeakyReLU):
             a = act.alpha
             lo = np.where(box.lower > 0, box.lower, a * box.lower)
             hi = np.where(box.upper > 0, box.upper, a * box.upper)
-            return Box(lo, hi)
+            return Box.unsafe(lo, hi)
         if isinstance(act, (Sigmoid, Tanh)):
-            return Box(act.forward(box.lower), act.forward(box.upper))
+            return Box.unsafe(act.forward(box.lower), act.forward(box.upper))
         raise UnsupportedLayerError(f"no box transformer for {type(act).__name__}")
 
     def propagate(self, network: Network, input_box: Box) -> List[Box]:

@@ -64,7 +64,7 @@ class SymbolicInterval:
         _, hi = _affine_range(self.up_w, self.up_b, self.input_box)
         # Relaxations can make the lower bound exceed the upper by rounding
         # noise on stable neurons; clamp to keep the box well-formed.
-        return Box(np.minimum(lo, hi), hi)
+        return Box.unsafe(np.minimum(lo, hi), hi)
 
     def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
         box = self.concretize()

@@ -56,7 +56,7 @@ class Zonotope:
 
     def concretize(self) -> Box:
         radius = np.abs(self.generators).sum(axis=1)
-        return Box(self.center - radius, self.center + radius)
+        return Box.unsafe(self.center - radius, self.center + radius)
 
     def affine(self, weight: np.ndarray, bias: np.ndarray) -> "Zonotope":
         """Exact image under ``x -> W x + b``."""

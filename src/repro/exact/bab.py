@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.domains.box import Box
+from repro.domains.batch import phase_clamped_objective_bounds
 from repro.exact.encoding import NetworkEncoding, PhaseMap
 from repro.exact.lp import LP_INFEASIBLE, LP_OPTIMAL, solve_lp
 from repro.nn.network import Network
@@ -65,12 +66,16 @@ class BaBSolver:
 
     def __init__(self, network: Network, input_box: Box,
                  encoding: Optional[NetworkEncoding] = None,
-                 tol: float = 1e-6, node_limit: int = 2000):
+                 tol: float = 1e-6, node_limit: int = 2000,
+                 interval_prune: bool = True):
         self.network = network
         self.input_box = input_box
         self.encoding = encoding or NetworkEncoding(network, input_box)
         self.tol = float(tol)
         self.node_limit = int(node_limit)
+        #: Screen sibling/frontier nodes with batched phase-clamped interval
+        #: bounds before building their LPs (see :meth:`maximize`).
+        self.interval_prune = bool(interval_prune)
 
     # ------------------------------------------------------------------ main
     def maximize(self, c: np.ndarray,
@@ -91,6 +96,15 @@ class BaBSolver:
         consistent LP, or still open at early termination.  Together these
         leaves cover the entire space, so they form a reusable branching
         certificate.
+
+        With ``interval_prune`` on (the default), every batch of candidate
+        nodes -- the warm-start list and each branching's sibling pair --
+        is first screened with one batched phase-clamped interval pass
+        (:func:`~repro.domains.batch.phase_clamped_objective_bounds`).
+        Nodes whose region is empty, cannot beat the incumbent, or already
+        proves the threshold are settled without building their LP, which
+        cuts ``lp_solves`` while preserving soundness, the optimum, and the
+        covering-leaves invariant.
         """
         enc = self.encoding
         tol = self.tol
@@ -102,6 +116,15 @@ class BaBSolver:
         counter = itertools.count()
         incumbent = -np.inf
         witness: Optional[np.ndarray] = None
+        c_vec = np.asarray(c, dtype=np.float64).reshape(-1)
+        # Sound max over regions the interval screen settled above the
+        # incumbent (threshold mode); folded into every reported bound.
+        screened_bound = -np.inf
+
+        def screen_nodes(phase_maps: List[PhaseMap]):
+            """Batched interval upper bounds for a list of candidate nodes."""
+            return phase_clamped_objective_bounds(
+                self.network, self.input_box, phase_maps, c_vec)
 
         def record_leaf(phases: PhaseMap) -> None:
             if collect_leaves is not None:
@@ -129,13 +152,36 @@ class BaBSolver:
             # Whatever remains open is part of the covering certificate.
             for _, __, phases, ___ in heap:
                 record_leaf(phases)
-            return BaBResult(status, bound, incumbent, witness, nodes, lp_solves)
+            return BaBResult(status, max(bound, screened_bound), incumbent,
+                             witness, nodes, lp_solves)
 
         starts: List[PhaseMap] = (
             [dict(p) for p in initial_nodes] if initial_nodes else [{}]
         )
+        start_ubs = start_feasible = None
+        if self.interval_prune:
+            start_ubs, start_feasible = screen_nodes(starts)
+            if threshold is not None and np.all(start_ubs <= threshold + tol):
+                # The covering regions all close on intervals alone: proved
+                # without a single LP.
+                for start in starts:
+                    record_leaf(start)
+                return BaBResult(BAB_PROVED, float(start_ubs.max()), incumbent,
+                                 witness, nodes, lp_solves)
         any_feasible = False
-        for start in starts:
+        for j, start in enumerate(starts):
+            if self.interval_prune:
+                if not start_feasible[j]:
+                    record_leaf(start)  # phase constraints empty the region
+                    continue
+                ub_est = float(start_ubs[j])
+                if ub_est <= incumbent + tol:
+                    record_leaf(start)  # cannot beat an earlier start
+                    continue
+                if threshold is not None and ub_est <= threshold + tol:
+                    screened_bound = max(screened_bound, ub_est)
+                    record_leaf(start)  # region proved below the threshold
+                    continue
             res = solve_node(start)
             if res.status == LP_INFEASIBLE:
                 record_leaf(start)
@@ -146,6 +192,10 @@ class BaBSolver:
             register_feasible(res.x[enc.input_slice])
             heapq.heappush(heap, (res.value, next(counter), start, res.x))
         if not any_feasible:
+            if screened_bound > -np.inf:
+                # Every LP-checked region was empty, but interval-screened
+                # regions cover the rest below the threshold.
+                return finish(BAB_PROVED, screened_bound)
             return BaBResult(BAB_INFEASIBLE, -np.inf, -np.inf, None,
                              len(starts), lp_solves)
 
@@ -178,9 +228,28 @@ class BaBSolver:
                 record_leaf(phases)
                 continue
 
+            children: List[PhaseMap] = []
             for phase in (1, -1):
                 child: PhaseMap = dict(phases)
                 child[branch_var] = phase
+                children.append(child)
+            child_ubs = child_feasible = None
+            if self.interval_prune:
+                # One batched pass bounds both siblings before any LP exists.
+                child_ubs, child_feasible = screen_nodes(children)
+            for j, child in enumerate(children):
+                if self.interval_prune:
+                    if not child_feasible[j]:
+                        record_leaf(child)  # the phase split emptied the region
+                        continue
+                    ub_est = float(child_ubs[j])
+                    if ub_est <= incumbent + tol:
+                        record_leaf(child)  # interval bound already dominated
+                        continue
+                    if threshold is not None and ub_est <= threshold + tol:
+                        screened_bound = max(screened_bound, ub_est)
+                        record_leaf(child)  # region proved below the threshold
+                        continue
                 res = solve_node(child)
                 if res.status != LP_OPTIMAL:
                     record_leaf(child)
@@ -192,6 +261,18 @@ class BaBSolver:
                     continue
                 heapq.heappush(heap, (-child_bound, next(counter), child, res.x))
 
+        if threshold is not None and incumbent > threshold + tol:
+            # The incumbent can cross the threshold during the *last*
+            # branching (register_feasible on a child LP) with no further
+            # pop to notice it; report the refutation, not optimality.
+            return BaBResult(BAB_REFUTED, max(incumbent, screened_bound),
+                             incumbent, witness, nodes, lp_solves)
+        if screened_bound > incumbent + tol:
+            # Interval-settled regions (threshold mode) may exceed the
+            # incumbent, so exact optimality is not established -- but every
+            # region is closed below the threshold.
+            return BaBResult(BAB_PROVED, screened_bound, incumbent, witness,
+                             nodes, lp_solves)
         return BaBResult(BAB_OPTIMAL, incumbent, incumbent, witness, nodes, lp_solves)
 
     def _most_violated(self, x: np.ndarray,
@@ -239,15 +320,19 @@ class BaBSolver:
 
 def maximize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
-                    node_limit: int = 2000, tol: float = 1e-6) -> BaBResult:
+                    node_limit: int = 2000, tol: float = 1e-6,
+                    interval_prune: bool = True) -> BaBResult:
     """One-shot ``max c @ f(x)`` over ``input_box`` (see :class:`BaBSolver`)."""
-    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit)
+    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
+                       interval_prune=interval_prune)
     return solver.maximize(c, threshold=threshold)
 
 
 def minimize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
-                    node_limit: int = 2000, tol: float = 1e-6) -> BaBResult:
+                    node_limit: int = 2000, tol: float = 1e-6,
+                    interval_prune: bool = True) -> BaBResult:
     """One-shot ``min c @ f(x)`` over ``input_box``."""
-    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit)
+    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
+                       interval_prune=interval_prune)
     return solver.minimize(c, threshold=threshold)

@@ -1,6 +1,7 @@
 """Runtime monitoring: feature-space box monitor and enlargement events."""
 
-from repro.monitor.boxmonitor import BoxMonitor
+from repro.monitor.boxmonitor import BoxMonitor, screen_states
 from repro.monitor.events import EnlargementEvent, summarize_events
 
-__all__ = ["BoxMonitor", "EnlargementEvent", "summarize_events"]
+__all__ = ["BoxMonitor", "EnlargementEvent", "screen_states",
+           "summarize_events"]

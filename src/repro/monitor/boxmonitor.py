@@ -11,7 +11,7 @@ domain ``Din ∪ Δin`` that triggers the next (incremental) verification task.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.errors import MonitorError
 from repro.domains.box import Box
 from repro.monitor.events import EnlargementEvent
 
-__all__ = ["BoxMonitor"]
+__all__ = ["BoxMonitor", "screen_states"]
 
 
 class BoxMonitor:
@@ -89,9 +89,61 @@ class BoxMonitor:
         return inside
 
     def observe_batch(self, features: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`observe`; returns the per-row in-bound mask."""
+        """Vectorised :meth:`observe`: one containment check for the whole
+        window, with per-row events only materialised for violations.
+
+        Semantically identical to calling :meth:`observe` row by row (same
+        events, step numbers, and enlargement record) but the common
+        all-in-bounds case costs a single numpy pass instead of one Python
+        call per frame.
+        """
+        din = self.din
         arr = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        return np.array([self.observe(row) for row in arr])
+        if arr.ndim != 2 or arr.shape[1] != din.dim:
+            raise MonitorError(
+                f"feature window shape {arr.shape} != (N, {din.dim})")
+        inside = din.contains_points(arr, tol=0.0)
+        base_step = self._step
+        self._step += arr.shape[0]
+        bad = np.flatnonzero(~inside)
+        if bad.size:
+            rows = arr[bad]
+            gaps = np.maximum(din.lower - rows, rows - din.upper)
+            for offset, row, gap in zip(bad, rows, gaps):
+                self.events.append(EnlargementEvent(
+                    step=base_step + int(offset) + 1,
+                    excess=float(np.max(gap)),
+                    dimensions=np.flatnonzero(gap > 0).tolist()))
+            self._observed_low = np.minimum(self._observed_low,
+                                            rows.min(axis=0))
+            self._observed_high = np.maximum(self._observed_high,
+                                             rows.max(axis=0))
+        return inside
+
+    def screen_window(self, features: np.ndarray,
+                      network=None,
+                      states: Optional[Sequence[Box]] = None,
+                      tol: float = 0.0) -> np.ndarray:
+        """Read-only batched screen of a sample window against the enlarged
+        domain ``Din ∪ Δin`` (and, optionally, the per-layer abstractions).
+
+        Returns the per-row mask of samples that stay inside the enlarged
+        domain -- and, when ``network``/``states`` are supplied, whose
+        per-block activations also stay inside every stored ``S_i`` (the
+        condition under which the existing safety proof still covers the
+        sample).  Unlike :meth:`observe_batch` this records nothing: it is
+        the cheap vectorized pre-check the continuous loop runs over a
+        window before deciding whether a verification task is needed.
+        """
+        if (network is None) != (states is None):
+            raise MonitorError(
+                "screen_window needs both network and states for the "
+                "per-layer check (got only one of them)")
+        arr = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        mask = self.enlarged_box().contains_points(arr, tol=tol)
+        if network is not None:
+            mask = mask & screen_states(network, states, arr, tol=tol)
+        return mask
 
     # ---------------------------------------------------------------- results
     @property
@@ -128,3 +180,26 @@ class BoxMonitor:
         from repro.domains.box import box_kappa
 
         return box_kappa(self.din, self.enlarged_box(), ord=ord)
+
+
+def screen_states(network, states: Sequence[Box], features: np.ndarray,
+                  tol: float = 0.0) -> np.ndarray:
+    """Per-sample mask: do all per-block activations stay inside the stored
+    state abstractions ``[S_1, ..., S_n]``?
+
+    One batched forward pass through the network with a vectorized
+    containment check after every block -- the monitor-side use of the
+    batched engine: a window of runtime samples is screened against the
+    whole proof chain at the cost of a handful of matmuls.
+    """
+    arr = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    blocks = network.blocks()
+    if len(states) != len(blocks):
+        raise MonitorError(
+            f"{len(states)} state abstractions for {len(blocks)} blocks")
+    mask = np.ones(arr.shape[0], dtype=bool)
+    values = arr
+    for block, state in zip(blocks, states):
+        values = block.forward(values)
+        mask &= state.contains_points(values, tol=tol)
+    return mask
