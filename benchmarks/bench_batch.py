@@ -135,8 +135,12 @@ def test_report_bab_interval_pruning(capsys):
         __import__("pytest").approx(stats["optimum_pruning_off"], abs=1e-9)
 
 
-def main(path=None):
+def main(path=None, smoke=False):
+    global BATCH_SIZES
+    if smoke:
+        BATCH_SIZES = (1, 16)  # CI smoke: exercise every path, tiny sizes
     payload = {
+        "smoke": smoke,
         "propagation": run_propagation_suite(),
         "bab_pruning": run_bab_pruning(),
     }
@@ -144,4 +148,5 @@ def main(path=None):
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else None)
+    _argv = [a for a in sys.argv[1:] if a != "--smoke"]
+    main(_argv[0] if _argv else None, smoke="--smoke" in sys.argv[1:])

@@ -47,15 +47,10 @@ def test_equation2_milp_infeasible_above_12(fig2):
     must be infeasible (max is 6.2)."""
     enc = NetworkEncoding(fig2, ENLARGED)
     system = enc.build_milp()
-    # add n4 >= 12 as -n4 <= -12
+    # add n4 >= 12 as -n4 <= -12 (sparse-safe row append)
     row = np.zeros(system.num_vars)
     row[enc.output_slice] = -1.0
-    a_ub = np.vstack([system.a_ub, row])
-    b_ub = np.append(system.b_ub, -12.0)
-    from repro.exact.encoding import LinearSystem
-
-    constrained = LinearSystem(system.num_vars, a_ub, b_ub, system.a_eq,
-                               system.b_eq, system.bounds, system.integer_mask)
+    constrained = system.with_extra_ub(row, -12.0)
     res = solve_milp(np.zeros(system.num_vars), constrained)
     assert res.status == "infeasible"
 

@@ -11,6 +11,7 @@ from repro.domains.batch import (
     SymbolicBatch,
     ZonotopeBatch,
     get_batched_propagator,
+    phase_clamped_node_bounds,
     phase_clamped_objective_bounds,
     propagate_batch,
     screen_containments,
@@ -54,6 +55,7 @@ __all__ = [
     "get_propagator",
     "output_box",
     "output_box_batch",
+    "phase_clamped_node_bounds",
     "phase_clamped_objective_bounds",
     "propagate_batch",
     "propagate_network",

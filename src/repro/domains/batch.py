@@ -70,6 +70,7 @@ __all__ = [
     "get_batched_propagator",
     "propagate_batch",
     "output_box_batch",
+    "phase_clamped_node_bounds",
     "phase_clamped_objective_bounds",
     "screen_containments",
 ]
@@ -502,10 +503,12 @@ def _block_slope(act) -> float:
     )
 
 
-def phase_clamped_objective_bounds(
+def phase_clamped_node_bounds(
         network: Network, input_box: Box, phase_maps: Sequence[Dict],
-        c: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Interval upper bounds of ``c @ f(x)`` over N phase-constrained regions.
+        c: Optional[np.ndarray] = None,
+) -> Tuple[Optional[np.ndarray], np.ndarray, List[np.ndarray], List[np.ndarray]]:
+    """One clamped interval pass over N phase-constrained regions, returning
+    everything a branch-and-bound node needs.
 
     Each entry of ``phase_maps`` is a branch-and-bound ``PhaseMap``
     (``{(block, neuron): +1 | -1}``); its region is the subset of
@@ -515,17 +518,26 @@ def phase_clamped_objective_bounds(
     execution of the region satisfies both the interval enclosure and the
     sign constraint.
 
-    Returns ``(upper_bounds, feasible)``: rows whose clamp empties some
-    pre-activation interval are marked infeasible (their region is empty;
-    the bound entry is meaningless and set to ``-inf``).
+    Returns ``(upper, feasible, pre_lo, pre_hi)``:
+
+    * ``upper`` -- interval upper bounds of ``c @ f(x)`` per region
+      (``None`` when no objective is supplied; ``-inf`` on infeasible rows);
+    * ``feasible`` -- rows whose clamp empties some pre-activation interval
+      are marked infeasible (their region is empty);
+    * ``pre_lo`` / ``pre_hi`` -- per-block ``(N, d_k)`` post-clamp
+      pre-activation bounds, the per-node ``z``-variable tightening fed to
+      :meth:`repro.exact.encoding.NetworkEncoding.build_lp` (meaningless on
+      infeasible rows).
     """
-    c = np.asarray(c, dtype=np.float64).reshape(-1)
     n = len(phase_maps)
     if n == 0:
-        return np.empty(0), np.empty(0, dtype=bool)
+        empty_upper = None if c is None else np.empty(0)
+        return empty_upper, np.empty(0, dtype=bool), [], []
     lo = np.tile(input_box.lower, (n, 1))
     hi = np.tile(input_box.upper, (n, 1))
     feasible = np.ones(n, dtype=bool)
+    pre_lo: List[np.ndarray] = []
+    pre_hi: List[np.ndarray] = []
 
     for k, block in enumerate(network.blocks()):
         w, b = block.dense.weight, block.dense.bias
@@ -536,6 +548,8 @@ def phase_clamped_objective_bounds(
         zl, zu = zc - zr, zc + zr
         act = block.activation
         if act is None:
+            pre_lo.append(zl)
+            pre_hi.append(zu)
             lo, hi = zl, zu
             continue
         slope = _block_slope(act)
@@ -553,15 +567,31 @@ def phase_clamped_objective_bounds(
             if empty.any():
                 feasible &= ~np.any(empty, axis=1)
                 zl = np.minimum(zl, zu)  # keep the arithmetic well-formed
+        pre_lo.append(zl)
+        pre_hi.append(zu)
         # Post-clamp, the standard interval activation is exact for fixed
         # neurons too: active rows have zl >= 0, inactive rows zu <= 0.
         lo = np.where(zl > 0, zl, slope * zl)
         hi = np.where(zu > 0, zu, slope * zu)
 
+    if c is None:
+        return None, feasible, pre_lo, pre_hi
+    c = np.asarray(c, dtype=np.float64).reshape(-1)
     c_pos = np.maximum(c, 0.0)
     c_neg = np.minimum(c, 0.0)
     upper = hi @ c_pos + lo @ c_neg
     upper[~feasible] = -np.inf
+    return upper, feasible, pre_lo, pre_hi
+
+
+def phase_clamped_objective_bounds(
+        network: Network, input_box: Box, phase_maps: Sequence[Dict],
+        c: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Interval upper bounds of ``c @ f(x)`` over N phase-constrained regions
+    (see :func:`phase_clamped_node_bounds`, of which this keeps only the
+    ``(upper_bounds, feasible)`` pair)."""
+    upper, feasible, _, __ = phase_clamped_node_bounds(
+        network, input_box, phase_maps, c)
     return upper, feasible
 
 

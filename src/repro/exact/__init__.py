@@ -6,8 +6,15 @@ from repro.exact.lp import (
     LP_UNBOUNDED,
     LPResult,
     solve_lp,
+    solve_system,
 )
-from repro.exact.encoding import LinearSystem, NetworkEncoding, PhaseMap
+from repro.exact.encoding import (
+    LinearSystem,
+    NetworkEncoding,
+    PhaseMap,
+    clear_encoding_cache,
+    encoding_cache_stats,
+)
 from repro.exact.milp import MILPResult, solve_milp
 from repro.exact.bab import (
     BaBResult,
@@ -48,9 +55,12 @@ __all__ = [
     "SplitResult",
     "check_containment",
     "check_containment_split",
+    "clear_encoding_cache",
+    "encoding_cache_stats",
     "maximize_output",
     "minimize_output",
     "output_range_exact",
     "solve_lp",
     "solve_milp",
+    "solve_system",
 ]

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.domains.box import Box
-from repro.domains.batch import phase_clamped_objective_bounds
+from repro.domains.batch import phase_clamped_node_bounds
 from repro.exact.encoding import NetworkEncoding, PhaseMap
 from repro.exact.lp import LP_INFEASIBLE, LP_OPTIMAL, solve_lp
 from repro.nn.network import Network
@@ -67,15 +67,33 @@ class BaBSolver:
     def __init__(self, network: Network, input_box: Box,
                  encoding: Optional[NetworkEncoding] = None,
                  tol: float = 1e-6, node_limit: int = 2000,
-                 interval_prune: bool = True):
+                 interval_prune: bool = True,
+                 lp_form: str = "auto",
+                 node_tighten: bool = False):
         self.network = network
         self.input_box = input_box
-        self.encoding = encoding or NetworkEncoding(network, input_box)
+        #: One encoding serves every node of every solve; when the caller
+        #: does not bring their own it is pulled from the fingerprint-keyed
+        #: cache, so repeated solves of the same ``(network, box)`` pair
+        #: (different objectives, thresholds, warm starts) skip symbolic
+        #: propagation and base assembly entirely.
+        self.encoding = encoding or NetworkEncoding.for_problem(network, input_box)
         self.tol = float(tol)
         self.node_limit = int(node_limit)
         #: Screen sibling/frontier nodes with batched phase-clamped interval
         #: bounds before building their LPs (see :meth:`maximize`).
         self.interval_prune = bool(interval_prune)
+        #: ``"sparse"`` composes each node LP as base + delta; ``"dense"``
+        #: keeps the historical full rebuild (same verdicts, for
+        #: comparison); ``"auto"`` (default) picks dense only for tiny
+        #: systems where the delta machinery costs more than it saves.
+        self.lp_form = str(lp_form)
+        #: Feed each node's batched phase-clamped pre-activation bounds into
+        #: its LP as ``z``-variable bounds (a per-node presolve riding the
+        #: same stacked pass as the interval screen).  Off by default: it
+        #: tightens node relaxations, which can change the search trajectory
+        #: relative to the plain triangle LP.
+        self.node_tighten = bool(node_tighten)
 
     # ------------------------------------------------------------------ main
     def maximize(self, c: np.ndarray,
@@ -100,11 +118,13 @@ class BaBSolver:
         With ``interval_prune`` on (the default), every batch of candidate
         nodes -- the warm-start list and each branching's sibling pair --
         is first screened with one batched phase-clamped interval pass
-        (:func:`~repro.domains.batch.phase_clamped_objective_bounds`).
+        (:func:`~repro.domains.batch.phase_clamped_node_bounds`).
         Nodes whose region is empty, cannot beat the incumbent, or already
         proves the threshold are settled without building their LP, which
         cuts ``lp_solves`` while preserving soundness, the optimum, and the
-        covering-leaves invariant.
+        covering-leaves invariant.  With ``node_tighten`` on, the same pass
+        additionally hands each surviving node its clamped pre-activation
+        bounds, installed as ``z``-variable bounds in the node's LP delta.
         """
         enc = self.encoding
         tol = self.tol
@@ -121,19 +141,31 @@ class BaBSolver:
         # incumbent (threshold mode); folded into every reported bound.
         screened_bound = -np.inf
 
+        use_screen = self.interval_prune or self.node_tighten
+
         def screen_nodes(phase_maps: List[PhaseMap]):
-            """Batched interval upper bounds for a list of candidate nodes."""
-            return phase_clamped_objective_bounds(
-                self.network, self.input_box, phase_maps, c_vec)
+            """One batched clamped-interval pass over candidate nodes:
+            objective upper bounds (when pruning), feasibility, and -- with
+            ``node_tighten`` -- per-node pre-activation tightenings."""
+            upper, feasible, pre_lo, pre_hi = phase_clamped_node_bounds(
+                self.network, self.input_box, phase_maps,
+                c_vec if self.interval_prune else None)
+            tights = None
+            if self.node_tighten:
+                tights = [[(pre_lo[k][j], pre_hi[k][j])
+                           for k in range(len(pre_lo))]
+                          for j in range(len(phase_maps))]
+            return upper, feasible, tights
 
         def record_leaf(phases: PhaseMap) -> None:
             if collect_leaves is not None:
                 collect_leaves.append(dict(phases))
 
-        def solve_node(phases: PhaseMap):
+        def solve_node(phases: PhaseMap, tight_pre=None):
             nonlocal lp_solves
             lp_solves += 1
-            system = enc.build_lp(phases)
+            system = enc.build_lp(phases, form=self.lp_form,
+                                  tight_pre=tight_pre)
             return solve_lp(neg_obj, system.a_ub, system.b_ub,
                             system.a_eq, system.b_eq, system.bounds)
 
@@ -158,10 +190,11 @@ class BaBSolver:
         starts: List[PhaseMap] = (
             [dict(p) for p in initial_nodes] if initial_nodes else [{}]
         )
-        start_ubs = start_feasible = None
-        if self.interval_prune:
-            start_ubs, start_feasible = screen_nodes(starts)
-            if threshold is not None and np.all(start_ubs <= threshold + tol):
+        start_ubs = start_feasible = start_tights = None
+        if use_screen:
+            start_ubs, start_feasible, start_tights = screen_nodes(starts)
+            if self.interval_prune and threshold is not None and \
+                    np.all(start_ubs <= threshold + tol):
                 # The covering regions all close on intervals alone: proved
                 # without a single LP.
                 for start in starts:
@@ -170,10 +203,11 @@ class BaBSolver:
                                  witness, nodes, lp_solves)
         any_feasible = False
         for j, start in enumerate(starts):
-            if self.interval_prune:
+            if use_screen:
                 if not start_feasible[j]:
                     record_leaf(start)  # phase constraints empty the region
                     continue
+            if self.interval_prune:
                 ub_est = float(start_ubs[j])
                 if ub_est <= incumbent + tol:
                     record_leaf(start)  # cannot beat an earlier start
@@ -182,7 +216,8 @@ class BaBSolver:
                     screened_bound = max(screened_bound, ub_est)
                     record_leaf(start)  # region proved below the threshold
                     continue
-            res = solve_node(start)
+            res = solve_node(start,
+                             start_tights[j] if start_tights else None)
             if res.status == LP_INFEASIBLE:
                 record_leaf(start)
                 continue
@@ -233,15 +268,15 @@ class BaBSolver:
                 child: PhaseMap = dict(phases)
                 child[branch_var] = phase
                 children.append(child)
-            child_ubs = child_feasible = None
-            if self.interval_prune:
+            child_ubs = child_feasible = child_tights = None
+            if use_screen:
                 # One batched pass bounds both siblings before any LP exists.
-                child_ubs, child_feasible = screen_nodes(children)
+                child_ubs, child_feasible, child_tights = screen_nodes(children)
             for j, child in enumerate(children):
+                if use_screen and not child_feasible[j]:
+                    record_leaf(child)  # the phase split emptied the region
+                    continue
                 if self.interval_prune:
-                    if not child_feasible[j]:
-                        record_leaf(child)  # the phase split emptied the region
-                        continue
                     ub_est = float(child_ubs[j])
                     if ub_est <= incumbent + tol:
                         record_leaf(child)  # interval bound already dominated
@@ -250,7 +285,8 @@ class BaBSolver:
                         screened_bound = max(screened_bound, ub_est)
                         record_leaf(child)  # region proved below the threshold
                         continue
-                res = solve_node(child)
+                res = solve_node(child,
+                                 child_tights[j] if child_tights else None)
                 if res.status != LP_OPTIMAL:
                     record_leaf(child)
                     continue
@@ -321,18 +357,20 @@ class BaBSolver:
 def maximize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
                     node_limit: int = 2000, tol: float = 1e-6,
-                    interval_prune: bool = True) -> BaBResult:
+                    interval_prune: bool = True,
+                    lp_form: str = "auto") -> BaBResult:
     """One-shot ``max c @ f(x)`` over ``input_box`` (see :class:`BaBSolver`)."""
     solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
-                       interval_prune=interval_prune)
+                       interval_prune=interval_prune, lp_form=lp_form)
     return solver.maximize(c, threshold=threshold)
 
 
 def minimize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
                     node_limit: int = 2000, tol: float = 1e-6,
-                    interval_prune: bool = True) -> BaBResult:
+                    interval_prune: bool = True,
+                    lp_form: str = "auto") -> BaBResult:
     """One-shot ``min c @ f(x)`` over ``input_box``."""
     solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
-                       interval_prune=interval_prune)
+                       interval_prune=interval_prune, lp_form=lp_form)
     return solver.minimize(c, threshold=threshold)

@@ -36,7 +36,7 @@ import numpy as np
 from repro.errors import ArtifactError
 from repro.domains.box import Box
 from repro.exact.bab import BaBResult, BaBSolver
-from repro.exact.encoding import PhaseMap
+from repro.exact.encoding import NetworkEncoding, PhaseMap
 from repro.nn.network import Network
 
 __all__ = ["BranchCertificate", "prove_with_certificate", "certify_threshold"]
@@ -66,13 +66,18 @@ class BranchCertificate:
 def certify_threshold(network: Network, input_box: Box, c: np.ndarray,
                       threshold: float,
                       node_limit: int = 20000,
-                      tol: float = 1e-6) -> tuple:
+                      tol: float = 1e-6,
+                      encoding: Optional[NetworkEncoding] = None) -> tuple:
     """Prove ``max c @ f(x) <= threshold`` and keep the branching certificate.
 
     Returns ``(BaBResult, BranchCertificate | None)`` -- the certificate is
-    ``None`` unless the proof succeeded.
+    ``None`` unless the proof succeeded.  ``encoding`` lets a caller supply
+    a pre-built :class:`NetworkEncoding`; by default one is drawn from the
+    fingerprint-keyed cache, so certifying several thresholds or objectives
+    over one ``(network, box)`` pair builds the LP base exactly once.
     """
-    solver = BaBSolver(network, input_box, node_limit=node_limit, tol=tol)
+    solver = BaBSolver(network, input_box, encoding=encoding,
+                       node_limit=node_limit, tol=tol)
     leaves: List[PhaseMap] = []
     result = solver.maximize(np.asarray(c, dtype=np.float64),
                              threshold=threshold, collect_leaves=leaves)
@@ -92,18 +97,28 @@ def prove_with_certificate(network: Network, input_box: Box,
                            certificate: BranchCertificate,
                            threshold: Optional[float] = None,
                            node_limit: int = 20000,
-                           tol: float = 1e-6) -> BaBResult:
+                           tol: float = 1e-6,
+                           encoding: Optional[NetworkEncoding] = None) -> BaBResult:
     """Re-prove the threshold on a *modified* problem, warm-started from the
     certificate's leaves.
 
     ``network`` may be a fine-tuned version (same block shapes) and
     ``input_box`` an enlarged domain.  ``threshold`` defaults to the
     certified one.
+
+    Every leaf LP is a *delta* on one shared encoding (phase rows over the
+    cached phase-free base), and the encoding itself is memoised across
+    calls: when the continuous-verification loop re-proves with the same
+    weights and box -- only phases or the threshold changed -- neither
+    symbolic propagation nor base assembly is repeated.  A leaf whose phase
+    now contradicts the new network's static stability names an empty
+    region and settles as an immediately-infeasible LP.
     """
     if not certificate.compatible_with(network):
         raise ArtifactError(
             "branch certificate was built for a different architecture")
     threshold = certificate.threshold if threshold is None else float(threshold)
-    solver = BaBSolver(network, input_box, node_limit=node_limit, tol=tol)
+    solver = BaBSolver(network, input_box, encoding=encoding,
+                       node_limit=node_limit, tol=tol)
     return solver.maximize(certificate.objective, threshold=threshold,
                            initial_nodes=certificate.leaves)

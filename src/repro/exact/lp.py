@@ -4,25 +4,48 @@ Normalises the solver interface the rest of :mod:`repro.exact` builds on:
 explicit statuses, consistent ``None`` handling for absent constraint
 groups, and a :class:`SolverError` for genuine backend failures (as opposed
 to the ordinary *infeasible* / *unbounded* verdicts, which are results).
+
+Constraint matrices may be dense ``np.ndarray`` or ``scipy.sparse``; sparse
+systems are handed to HiGHS as-is (no densification), except for *tiny*
+systems where the sparse bookkeeping costs more than it saves -- those are
+densified first (``DENSE_FALLBACK_VARS`` variables or fewer).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 from scipy.optimize import linprog
 
 from repro.errors import SolverError
 
-__all__ = ["LPResult", "solve_lp", "LP_OPTIMAL", "LP_INFEASIBLE", "LP_UNBOUNDED"]
+__all__ = ["LPResult", "solve_lp", "solve_system",
+           "LP_OPTIMAL", "LP_INFEASIBLE", "LP_UNBOUNDED",
+           "DENSE_FALLBACK_VARS"]
 
 LP_OPTIMAL = "optimal"
 LP_INFEASIBLE = "infeasible"
 LP_UNBOUNDED = "unbounded"
 
 _STATUS_MAP = {0: LP_OPTIMAL, 2: LP_INFEASIBLE, 3: LP_UNBOUNDED}
+
+#: Systems at or below this many variables are solved dense: HiGHS's sparse
+#: ingestion overhead only pays for itself on real widths (measured
+#: crossover is between ~100 and ~250 variables on the bench_lp workloads).
+DENSE_FALLBACK_VARS = 128
+
+
+def _prepare_matrix(matrix, num_vars: int):
+    """Normalise one constraint matrix for HiGHS: CSR for genuinely sparse
+    systems, dense for tiny ones."""
+    if matrix is None or not sp.issparse(matrix):
+        return matrix
+    if num_vars <= DENSE_FALLBACK_VARS:
+        return matrix.toarray()
+    return matrix.tocsr() if matrix.format != "csr" else matrix
 
 
 @dataclass
@@ -42,14 +65,16 @@ class LPResult:
 
 
 def solve_lp(c: np.ndarray,
-             a_ub: Optional[np.ndarray] = None,
+             a_ub=None,
              b_ub: Optional[np.ndarray] = None,
-             a_eq: Optional[np.ndarray] = None,
+             a_eq=None,
              b_eq: Optional[np.ndarray] = None,
              bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
              ) -> LPResult:
     """Minimise ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``
     and variable ``bounds`` (default: free variables).
+
+    ``a_ub`` / ``a_eq`` may be dense or ``scipy.sparse`` matrices.
 
     Raises :class:`SolverError` if HiGHS reports a numerical failure or an
     iteration/time limit -- conditions a verification result must never be
@@ -60,8 +85,8 @@ def solve_lp(c: np.ndarray,
         bounds = [(None, None)] * c.size
     res = linprog(
         c,
-        A_ub=a_ub, b_ub=b_ub,
-        A_eq=a_eq, b_eq=b_eq,
+        A_ub=_prepare_matrix(a_ub, c.size), b_ub=b_ub,
+        A_eq=_prepare_matrix(a_eq, c.size), b_eq=b_eq,
         bounds=bounds,
         method="highs",
     )
@@ -71,3 +96,10 @@ def solve_lp(c: np.ndarray,
     if status == LP_OPTIMAL:
         return LPResult(status=status, value=float(res.fun), x=np.asarray(res.x))
     return LPResult(status=status, value=float("nan"), x=None)
+
+
+def solve_system(c: np.ndarray, system) -> LPResult:
+    """Solve ``min c @ x`` over a :class:`~repro.exact.encoding.LinearSystem`
+    (its integer mask, if any, is relaxed -- this is the LP relaxation)."""
+    return solve_lp(c, system.a_ub, system.b_ub, system.a_eq, system.b_eq,
+                    system.bounds)

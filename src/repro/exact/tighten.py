@@ -48,20 +48,30 @@ class TightenStats:
         return 1.0 - self.total_width_after / self.total_width_before
 
 
-def _prefix_lp_bounds(network: Network, input_box: Box,
-                      pre_boxes: List[Box], upto_block: int,
-                      neuron: int) -> Optional[tuple]:
-    """Min/max of block ``upto_block``'s ``neuron`` pre-activation under the
-    triangle-relaxation LP of blocks ``0..upto_block`` (with current bounds).
+def _prefix_lp_system(network: Network, input_box: Box,
+                      pre_boxes: List[Box], upto_block: int) -> tuple:
+    """Sparse triangle-relaxation LP of blocks ``0..upto_block``.
 
-    Returns ``None`` when either LP fails to solve (the caller keeps the
-    existing bound -- tightening must never loosen or break soundness).
-    """
+    Built *once per block* and reused for every neuron tightened in it --
+    within a block all neurons share the same prefix bounds, so the system
+    is identical and only the objective changes (this is where the sparse
+    kernel turns optimisation-based presolve from O(neurons) encodings into
+    O(blocks))."""
     from repro.exact.encoding import NetworkEncoding
 
     prefix = network.subnetwork(0, upto_block + 1)
     enc = NetworkEncoding(prefix, input_box, pre_boxes=pre_boxes[:upto_block + 1])
-    system = enc.build_lp()
+    return enc, enc.build_lp()
+
+
+def _prefix_lp_bounds(enc, system, upto_block: int,
+                      neuron: int) -> Optional[tuple]:
+    """Min/max of block ``upto_block``'s ``neuron`` pre-activation under the
+    prefix LP built by :func:`_prefix_lp_system`.
+
+    Returns ``None`` when either LP fails to solve (the caller keeps the
+    existing bound -- tightening must never loosen or break soundness).
+    """
     objective = np.zeros(system.num_vars)
     objective[enc.z_slices[upto_block].start + neuron] = 1.0
     lo_res = solve_lp(objective, system.a_ub, system.b_ub,
@@ -96,13 +106,16 @@ def tighten_preactivation_bounds(network: Network, input_box: Box,
             continue
         lower = boxes[k].lower.copy()
         upper = boxes[k].upper.copy()
+        enc = system = None  # prefix LP assembled lazily, once per block
         for i in range(block.out_dim):
             unstable = lower[i] < 0.0 < upper[i]
             if only_unstable and not unstable:
                 continue
             if stats.lp_solves + 2 > max_lp_solves:
                 break
-            result = _prefix_lp_bounds(network, input_box, boxes, k, i)
+            if system is None:
+                enc, system = _prefix_lp_system(network, input_box, boxes, k)
+            result = _prefix_lp_bounds(enc, system, k, i)
             stats.lp_solves += 2
             if result is None:
                 continue

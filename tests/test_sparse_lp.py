@@ -1,0 +1,282 @@
+"""Sparse incremental LP kernel: equivalence with the dense builder.
+
+The sparse path (cached COO/CSR base + per-node delta) must produce the
+*same feasible set* as the historical dense per-neuron builder -- identical
+LP/MILP statuses and optimal values -- across ReLU and LeakyReLU networks,
+fully-stable networks (no inequality rows at all), forced-phase deltas, and
+the contradictory-phase bugfix.  Plus the solver-side regressions: one
+encoding (and one base assembly) per branch-and-bound solve, and the
+fingerprint-keyed encoding cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.exact import (
+    BaBSolver,
+    LinearSystem,
+    NetworkEncoding,
+    clear_encoding_cache,
+    encoding_cache_stats,
+    solve_milp,
+    solve_system,
+)
+from repro.nn import Dense, LeakyReLU, Network, ReLU, random_relu_network
+
+
+def _random_net(dims, seed, weight_scale=1.0, leaky_alpha=None):
+    """Random ReLU or LeakyReLU net with a linear output block."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i in range(len(dims) - 1):
+        din, dout = dims[i], dims[i + 1]
+        layers.append(Dense(
+            din, dout,
+            weight=rng.uniform(-weight_scale, weight_scale, size=(dout, din)),
+            bias=rng.uniform(-weight_scale, weight_scale, size=dout)))
+        if i < len(dims) - 2:
+            layers.append(ReLU() if leaky_alpha is None
+                          else LeakyReLU(leaky_alpha))
+    return Network(layers, input_dim=dims[0])
+
+
+def _random_phase_maps(enc, rng, count=4):
+    """A few branch-and-bound-style phase maps over the unstable neurons."""
+    unstable = enc.unstable_neurons()
+    maps = [{}]
+    for _ in range(count):
+        if not unstable:
+            break
+        size = int(rng.integers(1, min(len(unstable), 6) + 1))
+        picks = rng.choice(len(unstable), size=size, replace=False)
+        maps.append({unstable[int(j)]: int(rng.choice((-1, 1)))
+                     for j in picks})
+    return maps
+
+
+def _assert_equivalent(enc, phases, objectives):
+    dense = enc.build_lp(phases, form="dense")
+    sparse = enc.build_lp(phases, form="sparse")
+    assert sparse.is_sparse or sparse.a_ub is None and sparse.a_eq is None
+    assert not dense.is_sparse
+    for c in objectives:
+        res_d = solve_system(c, dense)
+        res_s = solve_system(c, sparse)
+        assert res_d.status == res_s.status
+        if res_d.optimal:
+            assert res_s.value == pytest.approx(res_d.value, abs=1e-9)
+
+
+class TestSparseDenseLP:
+    @pytest.mark.parametrize("dims,act,seed", [
+        ([3, 12, 8, 2], "relu", 0),
+        ([4, 10, 10, 3], "relu", 1),
+        ([3, 14, 6, 2], "leaky", 2),
+        ([2, 8, 8, 8, 1], "leaky", 3),
+    ])
+    def test_lp_equivalence_random_nets(self, dims, act, seed):
+        rng = np.random.default_rng(seed)
+        net = _random_net(dims, seed,
+                          leaky_alpha=0.1 if act == "leaky" else None)
+        box = Box(-np.ones(dims[0]), np.ones(dims[0]))
+        enc = NetworkEncoding(net, box)
+        objectives = [enc.output_objective(rng.normal(size=dims[-1]))
+                      for _ in range(2)]
+        for phases in _random_phase_maps(enc, rng):
+            _assert_equivalent(enc, phases, objectives)
+
+    def test_lp_matrices_match_exactly(self, fig2, enlarged_box2):
+        """Phase-free base: same rows as the dense build, sparsely stored."""
+        enc = NetworkEncoding(fig2, enlarged_box2)
+        dense = enc.build_lp(form="dense")
+        sparse = enc.build_lp(form="sparse")
+        np.testing.assert_allclose(sparse.a_eq.toarray(), dense.a_eq)
+        np.testing.assert_allclose(sparse.b_eq, dense.b_eq)
+        np.testing.assert_allclose(sparse.a_ub.toarray(), dense.a_ub)
+        np.testing.assert_allclose(sparse.b_ub, dense.b_ub)
+        assert sparse.bounds == dense.bounds
+        assert sparse.nnz == dense.nnz
+
+    def test_fully_stable_net_has_no_inequalities(self):
+        """All neurons stable: empty ``a_ub`` in both forms."""
+        net = Network([
+            Dense(2, 2, weight=np.array([[1.0, 0.5], [-0.5, 1.0]]),
+                  bias=np.array([4.0, 5.0])),
+            ReLU(),
+            Dense(2, 1, weight=np.array([[1.0, 1.0]]), bias=np.array([0.0])),
+        ], input_dim=2)
+        box = Box(-np.ones(2), np.ones(2))
+        enc = NetworkEncoding(net, box)
+        assert enc.unstable_neurons() == []
+        dense = enc.build_lp(form="dense")
+        sparse = enc.build_lp(form="sparse")
+        assert dense.a_ub is None and sparse.a_ub is None
+        c = enc.output_objective(np.array([1.0]))
+        assert solve_system(c, sparse).value == \
+            pytest.approx(solve_system(c, dense).value, abs=1e-9)
+
+    def test_forced_phase_removes_triangle_rows(self, fig2, enlarged_box2):
+        enc = NetworkEncoding(fig2, enlarged_box2)
+        base = enc.build_lp(form="sparse")
+        forced = enc.build_lp({(0, 0): 1}, form="sparse")
+        # 3 triangle rows out, 1 sign row in.
+        assert forced.a_ub.shape[0] == base.a_ub.shape[0] - 2
+        assert forced.a_eq.shape[0] == base.a_eq.shape[0] + 1
+
+    def test_contradictory_phase_is_infeasible(self):
+        """A forced phase fighting static stability must not be silently
+        dropped (the historical dense builder took the stable branch)."""
+        net = Network([
+            Dense(2, 3, weight=np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+                  bias=np.array([3.0, -3.0, 0.0])),
+            ReLU(),
+            Dense(3, 1, weight=np.array([[1.0, 1.0, 1.0]]),
+                  bias=np.array([0.0])),
+        ], input_dim=2)
+        box = Box(-np.ones(2), np.ones(2))
+        enc = NetworkEncoding(net, box)
+        assert enc.neuron_stability(0, 0) == "active"
+        assert enc.neuron_stability(0, 1) == "inactive"
+        assert enc.neuron_stability(0, 2) == "unstable"
+        c = enc.output_objective(np.array([1.0]))
+        for phases in ({(0, 0): -1}, {(0, 1): 1},
+                       {(0, 0): -1, (0, 2): 1}):
+            for form in ("dense", "sparse"):
+                res = solve_system(c, enc.build_lp(phases, form=form))
+                assert res.status == "infeasible", (phases, form)
+        # Consistent phases on stable neurons remain no-ops.
+        for phases in ({(0, 0): 1}, {(0, 1): -1}):
+            _assert_equivalent(enc, phases, [c])
+
+
+class TestSparseDenseMILP:
+    @pytest.mark.parametrize("dims,seed", [([3, 8, 2], 0), ([2, 6, 4, 1], 4)])
+    def test_milp_equivalence(self, dims, seed):
+        net = random_relu_network(dims, seed=seed, weight_scale=1.1)
+        box = Box(-np.ones(dims[0]), np.ones(dims[0]))
+        enc = NetworkEncoding(net, box)
+        dense = enc.build_milp(form="dense")
+        sparse = enc.build_milp(form="sparse")
+        assert sparse.is_sparse and not dense.is_sparse
+        np.testing.assert_array_equal(sparse.integer_mask, dense.integer_mask)
+        assert sparse.bounds == dense.bounds
+        c = enc.output_objective(np.ones(dims[-1]), num_vars=dense.num_vars)
+        res_d = solve_milp(c, dense, maximize=True)
+        res_s = solve_milp(c, sparse, maximize=True)
+        assert res_d.status == res_s.status
+        assert res_s.value == pytest.approx(res_d.value, abs=1e-9)
+
+    def test_milp_matrices_match_exactly(self, fig2, enlarged_box2):
+        enc = NetworkEncoding(fig2, enlarged_box2)
+        dense = enc.build_milp(form="dense")
+        sparse = enc.build_milp(form="sparse")
+        np.testing.assert_allclose(sparse.a_eq.toarray(), dense.a_eq)
+        np.testing.assert_allclose(sparse.a_ub.toarray(), dense.a_ub)
+        np.testing.assert_allclose(sparse.b_ub, dense.b_ub)
+
+
+class TestLinearSystemHelpers:
+    def test_integer_mask_default_normalises(self):
+        system = LinearSystem(3, None, None, None, None,
+                              [(None, None)] * 3)
+        assert system.integer_mask.dtype == bool
+        assert not system.integer_mask.any()
+        with pytest.raises(Exception):
+            LinearSystem(3, None, None, None, None, [(None, None)] * 3,
+                         integer_mask=np.zeros(2, dtype=bool))
+
+    def test_nnz_and_is_sparse(self, fig2, enlarged_box2):
+        enc = NetworkEncoding(fig2, enlarged_box2)
+        sparse = enc.build_lp(form="sparse")
+        dense = sparse.to_dense()
+        assert sparse.is_sparse and not dense.is_sparse
+        assert sparse.nnz == dense.nnz > 0
+        assert sparse.num_constraints == dense.num_constraints
+
+    def test_with_extra_ub_both_forms(self, fig2, enlarged_box2):
+        enc = NetworkEncoding(fig2, enlarged_box2)
+        for system in (enc.build_lp(form="sparse"),
+                       enc.build_lp(form="dense")):
+            row = np.zeros(system.num_vars)
+            row[enc.output_slice] = -1.0
+            bigger = system.with_extra_ub(row, -100.0)
+            assert bigger.a_ub.shape[0] == system.a_ub.shape[0] + 1
+            c = enc.output_objective(np.array([1.0]))
+            assert solve_system(c, bigger).status == "infeasible"
+
+
+class TestEncodingReuse:
+    def test_bab_builds_encoding_exactly_once_per_solve(self):
+        """The counter hook: one encoding construction and one base
+        assembly serve every node of a multi-node search."""
+        clear_encoding_cache()
+        net = random_relu_network([4, 24, 16, 2], seed=0, weight_scale=1.2)
+        box = Box(-np.ones(4), np.ones(4))
+        before = NetworkEncoding.builds
+        solver = BaBSolver(net, box, node_limit=50)
+        result = solver.maximize(np.array([1.0, -0.5]))
+        assert NetworkEncoding.builds - before == 1
+        assert solver.encoding.base_builds == 1
+        assert solver.encoding.lp_builds == result.lp_solves
+
+    def test_for_problem_cache_hits_on_equal_weights(self):
+        clear_encoding_cache()
+        net = random_relu_network([3, 8, 2], seed=9, weight_scale=0.7)
+        twin = net.copy()  # equal weights, different object
+        box = Box(-np.ones(3), np.ones(3))
+        before = encoding_cache_stats()
+        first = NetworkEncoding.for_problem(net, box)
+        again = NetworkEncoding.for_problem(net, box)
+        from_twin = NetworkEncoding.for_problem(twin, box)
+        after = encoding_cache_stats()
+        assert first is again is from_twin
+        assert after["misses"] - before["misses"] == 1
+        assert after["hits"] - before["hits"] == 2
+
+    def test_for_problem_distinguishes_weights_and_boxes(self):
+        clear_encoding_cache()
+        net = random_relu_network([3, 8, 2], seed=9, weight_scale=0.7)
+        box = Box(-np.ones(3), np.ones(3))
+        other_box = Box(-np.ones(3), 1.5 * np.ones(3))
+        perturbed = net.perturb(0.05, np.random.default_rng(0))
+        encodings = {
+            id(NetworkEncoding.for_problem(net, box)),
+            id(NetworkEncoding.for_problem(net, other_box)),
+            id(NetworkEncoding.for_problem(perturbed, box)),
+        }
+        assert len(encodings) == 3
+
+
+class TestBaBFormEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bab_identical_across_forms(self, seed):
+        """The acceptance gate: sparse incremental deltas change nothing
+        about the search -- same verdict, bound (<= 1e-9), nodes, and
+        lp_solves as the dense rebuild."""
+        net = random_relu_network([4, 16, 12, 2], seed=seed, weight_scale=1.1)
+        box = Box(-np.ones(4), np.ones(4))
+        c = np.array([1.0, -0.5])
+        results = {}
+        for form in ("dense", "sparse"):
+            solver = BaBSolver(net, box, node_limit=120, lp_form=form,
+                               encoding=NetworkEncoding(net, box))
+            results[form] = solver.maximize(c)
+        dense, sparse = results["dense"], results["sparse"]
+        assert sparse.status == dense.status
+        assert sparse.nodes == dense.nodes
+        assert sparse.lp_solves == dense.lp_solves
+        assert sparse.upper_bound == pytest.approx(dense.upper_bound, abs=1e-9)
+        assert sparse.incumbent == pytest.approx(dense.incumbent, abs=1e-9)
+
+    def test_node_tighten_stays_sound(self):
+        net = random_relu_network([3, 12, 8, 1], seed=4, weight_scale=1.3)
+        box = Box(-np.ones(3), np.ones(3))
+        plain = BaBSolver(net, box, node_limit=200).maximize(np.ones(1))
+        tight = BaBSolver(net, box, node_limit=200,
+                          node_tighten=True).maximize(np.ones(1))
+        # Tightened node LPs can only shrink upper bounds, never lose the
+        # true optimum.
+        assert tight.upper_bound <= plain.upper_bound + 1e-9
+        if plain.status == tight.status == "optimal":
+            assert tight.optimum == pytest.approx(plain.optimum, abs=1e-6)
