@@ -20,6 +20,14 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker-pool width for the exact branch-and-"
+                             "bound legs; >= 2 switches to the parallel "
+                             "frontier search, whose verdicts do not "
+                             "depend on the pool width")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -34,6 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
     vehicle.add_argument("--frame-size", type=int, default=24)
     vehicle.add_argument("--samples", type=int, default=200)
     vehicle.add_argument("--epochs", type=int, default=50)
+    _add_workers_arg(vehicle)
 
     verify = sub.add_parser("verify", help="verify a saved network on a box")
     verify.add_argument("network", help="path to a network .npz "
@@ -47,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "from the layered abstraction + 25%% slack)")
     verify.add_argument("--artifacts", default=None,
                         help="where to save the proof artifacts (.npz)")
+    _add_workers_arg(verify)
     return parser
 
 
@@ -121,13 +131,14 @@ def _cmd_vehicle(args) -> int:
     dout = sn.inflate(0.25 * float(sn.widths.max()) + 0.05)
     problem = VerificationProblem(perception.head, din, dout)
     print("verifying from scratch ...")
-    baseline = verify_from_scratch(problem, state_buffer=0.05)
+    baseline = verify_from_scratch(problem, state_buffer=0.05,
+                                   workers=args.workers)
     print(f"  safe={baseline.holds} in {baseline.elapsed:.2f}s")
 
     VehiclePlatform(track, camera, perception).drive(
         DriveConfig(steps=40, brightness=1.8, disturbance_std=0.8),
         monitor=monitor)
-    verifier = ContinuousVerifier(baseline.artifacts)
+    verifier = ContinuousVerifier(baseline.artifacts, workers=args.workers)
     svudc = verifier.verify_domain_change(
         SVuDC(problem, monitor.enlarged_box()))
     tuned = fine_tune(perception.head, x, y, learning_rate=1e-3, epochs=1)
@@ -160,7 +171,8 @@ def _cmd_verify(args) -> int:
         dout = sn.inflate(0.25 * float(sn.widths.max()) + 1e-6)
         print(f"auto Dout: {dout}")
     problem = VerificationProblem(network, din, dout)
-    outcome = verify_from_scratch(problem, state_buffer=0.03)
+    outcome = verify_from_scratch(problem, state_buffer=0.03,
+                                  workers=args.workers)
     verdict = {True: "SAFE", False: "UNSAFE", None: "UNKNOWN"}[outcome.holds]
     print(f"{verdict} in {outcome.elapsed:.3f}s  ({outcome.detail})")
     if args.artifacts:

@@ -81,11 +81,15 @@ class ContinuousVerifier:
 
     def __init__(self, artifacts: ProofArtifacts,
                  method: str = "auto", domain: str = "symbolic",
-                 node_limit: int = 2000):
+                 node_limit: int = 2000, workers: int = 1):
         self.artifacts = artifacts
         self.method = method
         self.domain = domain
         self.node_limit = node_limit
+        #: Worker-pool width handed to every exact branch-and-bound leg
+        #: (the parallel frontier search of :mod:`repro.exact.parallel_bab`);
+        #: verdicts are worker-count independent by construction.
+        self.workers = workers
 
     # ------------------------------------------------------------------ SVuDC
     def verify_domain_change(self, problem: SVuDC,
@@ -113,10 +117,12 @@ class ContinuousVerifier:
     def _run_svudc_strategy(self, strategy: str, enlarged: Box) -> PropositionResult:
         if strategy == "prop1":
             return check_prop1(self.artifacts, enlarged, method=self.method,
-                               node_limit=self.node_limit)
+                               node_limit=self.node_limit,
+                               workers=self.workers)
         if strategy == "prop2":
             return check_prop2(self.artifacts, enlarged, domain=self.domain,
-                               method=self.method, node_limit=self.node_limit)
+                               method=self.method, node_limit=self.node_limit,
+                               workers=self.workers)
         if strategy == "prop3":
             return check_prop3(self.artifacts, enlarged)
         raise ArtifactError(f"unknown SVuDC strategy {strategy!r}")
@@ -159,7 +165,8 @@ class ContinuousVerifier:
             elif strategy == "prop4":
                 result = check_prop4(self.artifacts, new_network,
                                      enlarged_din=enlarged, method=self.method,
-                                     node_limit=self.node_limit)
+                                     node_limit=self.node_limit,
+                                     workers=self.workers)
                 prop4_result = result
             elif strategy == "prop5":
                 alphas = list(prop5_alphas) if prop5_alphas is not None else \
@@ -168,7 +175,8 @@ class ContinuousVerifier:
                     continue
                 result = check_prop5(self.artifacts, new_network, alphas,
                                      enlarged_din=enlarged, method=self.method,
-                                     node_limit=self.node_limit)
+                                     node_limit=self.node_limit,
+                                     workers=self.workers)
             else:
                 raise ArtifactError(f"unknown SVbTV strategy {strategy!r}")
             attempts.append(result)
@@ -179,7 +187,8 @@ class ContinuousVerifier:
         if with_fixing and prop4_result is not None:
             fix = incremental_fix(self.artifacts, new_network, prop4_result,
                                   enlarged_din=enlarged, domain=self.domain,
-                                  method=self.method, node_limit=self.node_limit)
+                                  method=self.method, node_limit=self.node_limit,
+                                  workers=self.workers)
             if fix.holds is not None:
                 elapsed = time.perf_counter() - started
                 return ContinuousResult(
@@ -214,13 +223,15 @@ class ContinuousVerifier:
                 states_prove_safety=self.artifacts.states_prove_safety,
             )
             head_check = check_prop1(new_artifacts, enlarged, method=self.method,
-                                     node_limit=self.node_limit)
+                                     node_limit=self.node_limit,
+                                     workers=self.workers)
             # Soundness: prop1 on f' needs every S_i->S_{i+1} step of f' for
             # i >= 2, which prop6 alone does not give; require prop4's tail
             # checks for blocks 1..n.
             tail_checks = check_prop4(self.artifacts, new_network,
                                       enlarged_din=None, method=self.method,
-                                      node_limit=self.node_limit)
+                                      node_limit=self.node_limit,
+                                      workers=self.workers)
             combined_holds = bool(head_check.holds and tail_checks.holds)
             subproblems = (result.subproblems + head_check.subproblems
                            + tail_checks.subproblems)
@@ -261,7 +272,9 @@ class ContinuousVerifier:
     def _fallback_full(self, network: Network, din: Box, started: float,
                        attempts: List[PropositionResult]) -> ContinuousResult:
         res = check_containment(network, din, self.artifacts.problem.dout,
-                                method="exact", node_limit=max(self.node_limit, 20000))
+                                method="exact",
+                                node_limit=max(self.node_limit, 20000),
+                                workers=self.workers)
         report = SubproblemReport.from_containment("full re-verification", res)
         fallback = PropositionResult(
             proposition="full", holds=res.holds, subproblems=[report],

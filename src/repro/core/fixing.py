@@ -53,9 +53,10 @@ class FixingResult:
 def _full_reverification(new_network: Network, din: Box, dout: Box,
                          method: str, node_limit: int,
                          subproblems: List[SubproblemReport],
-                         started: float, strategy: str) -> FixingResult:
+                         started: float, strategy: str,
+                         workers: int = 1) -> FixingResult:
     res = check_containment(new_network, din, dout, method=method,
-                            node_limit=node_limit)
+                            node_limit=node_limit, workers=workers)
     subproblems.append(SubproblemReport.from_containment("full re-verification", res))
     return FixingResult(
         holds=res.holds,
@@ -70,7 +71,8 @@ def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
                     enlarged_din: Optional[Box] = None,
                     domain: str = "symbolic",
                     method: str = "auto",
-                    node_limit: int = 2000) -> FixingResult:
+                    node_limit: int = 2000,
+                    workers: int = 1) -> FixingResult:
     """Attempt the Section IV.C repair after a failed Proposition 4.
 
     ``prop4_result`` must be the (non-early-stopped) result of
@@ -94,20 +96,23 @@ def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
         # apply; fall back to the traditional method on the whole network.
         return _full_reverification(
             new_network, din, dout, method, node_limit, subproblems, started,
-            strategy=f"{len(failing)} layers broken -> full re-verification")
+            strategy=f"{len(failing)} layers broken -> full re-verification",
+            workers=workers)
     i = failing[0]
     if i == 0:
         # The very first abstraction broke: nothing upstream to reuse.
         return _full_reverification(
             new_network, din, dout, method, node_limit, subproblems, started,
-            strategy="first abstraction broken -> full re-verification")
+            strategy="first abstraction broken -> full re-verification",
+            workers=workers)
     if i == n - 1:
         # The final check S_{n-1} -> Dout broke; there is no later proof to
         # re-enter, so verify the remaining tail exactly (blocks i..n over
         # S_{n-1} failed already => re-verify from the last *intact* box).
         source = states.layer(i - 1)
         res = check_containment(new_network.subnetwork(i, n), source, dout,
-                                method=method, node_limit=node_limit)
+                                method=method, node_limit=node_limit,
+                                workers=workers)
         subproblems.append(SubproblemReport.from_containment(
             f"blocks[{i}:{n}] -> Dout (tail re-verification)", res))
         return FixingResult(
@@ -137,7 +142,8 @@ def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
     for k in range(i + 1, n - 1):
         layer = new_network.subnetwork(k, k + 1)
         res = check_containment(layer, current, states.layer(k),
-                                method=method, node_limit=node_limit)
+                                method=method, node_limit=node_limit,
+                                workers=workers)
         subproblems.append(SubproblemReport.from_containment(
             f"S'_{k} -> S_{k + 1} (re-entry)", res))
         if res.holds:
@@ -155,7 +161,8 @@ def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
 
     # No re-entry: verify the remaining tail from the propagated S'.
     res = check_containment(new_network.subnetwork(n - 1, n), current, dout,
-                            method=method, node_limit=node_limit)
+                            method=method, node_limit=node_limit,
+                            workers=workers)
     subproblems.append(SubproblemReport.from_containment(
         f"S'_{n - 1} -> Dout (tail)", res))
     return FixingResult(

@@ -33,7 +33,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.errors import ReproError
 from repro.core.propositions import SubproblemReport
 
-__all__ = ["sequential_time", "parallel_time", "makespan", "run_parallel"]
+__all__ = ["sequential_time", "parallel_time", "makespan", "run_parallel",
+           "available_width", "effective_workers", "reserved_width"]
 
 _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_LOCK = threading.Lock()
@@ -56,6 +57,38 @@ def _shared_pool() -> ThreadPoolExecutor:
                     max_workers=_POOL_SIZE,
                     thread_name_prefix=_POOL_THREAD_PREFIX)
     return _POOL
+
+
+def effective_workers(workers: int) -> int:
+    """The concurrency the shared pool can grant ``workers`` without the
+    private per-call fallback: 1 from inside a pool worker (nested calls
+    divert anyway), else at most the machine width.  Per-round callers
+    (the frontier search) clamp with this so a too-wide request does not
+    spin up and tear down a private pool every round."""
+    if workers <= 1:
+        return 1
+    if threading.current_thread().name.startswith(_POOL_THREAD_PREFIX):
+        return 1
+    return min(int(workers), _POOL_SIZE)
+
+
+def reserved_width() -> int:
+    """Shared-pool width currently reserved by in-flight ``run_parallel``
+    calls.  Monitoring/regression hook: must read 0 whenever no call is in
+    flight -- a nonzero idle value means a reservation leaked and the shared
+    pool will be (silently) bypassed by every future full-width call."""
+    with _POOL_LOCK:
+        return _RESERVED
+
+
+def available_width() -> int:
+    """Shared-pool width a new ``run_parallel`` call could reserve *right
+    now*.  A snapshot, not a promise -- another caller may take the width
+    before you use it -- but per-round callers clamp with it so that, while
+    someone else holds the pool, they degrade to inline execution instead
+    of spinning up a private pool every round."""
+    with _POOL_LOCK:
+        return max(0, _POOL_SIZE - _RESERVED)
 
 
 def sequential_time(subproblems: Sequence[SubproblemReport]) -> float:
@@ -123,23 +156,31 @@ def run_parallel(tasks: Sequence[Tuple[str, Callable[[], object]]],
             return [(name, *future.result())
                     for (name, _), future in zip(tasks, futures)]
 
-    # The semaphore gates *submission* (released by the worker on
-    # completion), so queued tasks never occupy pool threads and the
-    # reservation bound holds.
-    gate = threading.BoundedSemaphore(workers)
-
-    def gated(thunk: Callable[[], object]) -> Tuple[object, float]:
-        try:
-            return timed(thunk)
-        finally:
-            gate.release()
-
-    pool = _shared_pool()
+    # From here the reservation is held: *everything* below -- semaphore and
+    # pool construction included -- runs under the finally that returns it,
+    # so no exception path (worker raise, interrupt during submission, pool
+    # failure) can leak width and starve future callers off the shared pool.
     futures = []
     try:
+        # The semaphore gates *submission* (released by the worker on
+        # completion), so queued tasks never occupy pool threads and the
+        # reservation bound holds.
+        gate = threading.BoundedSemaphore(workers)
+
+        def gated(thunk: Callable[[], object]) -> Tuple[object, float]:
+            try:
+                return timed(thunk)
+            finally:
+                gate.release()
+
+        pool = _shared_pool()
         for _, thunk in tasks:
             gate.acquire()
-            futures.append(pool.submit(gated, thunk))
+            try:
+                futures.append(pool.submit(gated, thunk))
+            except BaseException:
+                gate.release()  # submit failed: the slot was never taken
+                raise
         results = []
         for (name, _), future in zip(tasks, futures):
             value, elapsed = future.result()

@@ -137,7 +137,8 @@ def _batched_prescreen(triples, enabled: bool):
 
 # --------------------------------------------------------------------- SVuDC
 def check_prop1(artifacts: ProofArtifacts, enlarged_din: Box,
-                method: str = "auto", node_limit: int = 2000) -> PropositionResult:
+                method: str = "auto", node_limit: int = 2000,
+                workers: int = 1) -> PropositionResult:
     """Proposition 1 (proof reuse at layers 1 and 2).
 
     Checks ``∀x ∈ Din ∪ Δin : g2(g1(x)) ∈ S2`` with an exact (or cascaded)
@@ -156,7 +157,7 @@ def check_prop1(artifacts: ProofArtifacts, enlarged_din: Box,
     head = network.subnetwork(0, 2)
     s2 = artifacts.states.layer(1)
     res = check_containment(head, enlarged_din, s2, method=method,
-                            node_limit=node_limit)
+                            node_limit=node_limit, workers=workers)
     report = SubproblemReport.from_containment("g2∘g1 ⊆ S2", res)
     return _timed("prop1", started, res.holds, [report],
                   f"two-layer head vs S2 ({res.method})")
@@ -164,7 +165,7 @@ def check_prop1(artifacts: ProofArtifacts, enlarged_din: Box,
 
 def check_prop2(artifacts: ProofArtifacts, enlarged_din: Box,
                 domain: str = "symbolic", method: str = "exact",
-                node_limit: int = 2000) -> PropositionResult:
+                node_limit: int = 2000, workers: int = 1) -> PropositionResult:
     """Proposition 2 (proof reuse at layer ``j+1``).
 
     Builds fresh abstractions ``S'_1 … S'_j`` over the enlarged domain
@@ -188,7 +189,8 @@ def check_prop2(artifacts: ProofArtifacts, enlarged_din: Box,
         build_time = time.perf_counter() - t0
         layer = network.subnetwork(j, j + 1)
         res = check_containment(layer, current, artifacts.states.layer(j),
-                                method=method, node_limit=node_limit)
+                                method=method, node_limit=node_limit,
+                                workers=workers)
         report = SubproblemReport(
             name=f"S'_{j} -> S_{j + 1}",
             holds=res.holds,
@@ -237,7 +239,8 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
                 enlarged_din: Optional[Box] = None,
                 method: str = "auto", node_limit: int = 2000,
                 stop_on_failure: bool = False,
-                prescreen: bool = True) -> PropositionResult:
+                prescreen: bool = True,
+                workers: int = 1) -> PropositionResult:
     """Proposition 4 (reusing state abstraction, single layer).
 
     ``n`` independent one-layer checks on the *new* network:
@@ -283,7 +286,7 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
                 detail="batched box pre-screen"))
             continue
         res = check_containment(layer, source, target, method=method,
-                                node_limit=node_limit)
+                                node_limit=node_limit, workers=workers)
         report = SubproblemReport.from_containment(name, res)
         report.elapsed += screen_share
         subproblems.append(report)
@@ -304,7 +307,8 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
 def check_prop5(artifacts: ProofArtifacts, new_network: Network,
                 alphas: Sequence[int], enlarged_din: Optional[Box] = None,
                 method: str = "auto", node_limit: int = 2000,
-                prescreen: bool = True) -> PropositionResult:
+                prescreen: bool = True,
+                workers: int = 1) -> PropositionResult:
     """Proposition 5 (reusing state abstraction, multiple layers).
 
     ``alphas`` are the reused boundaries in paper numbering
@@ -347,7 +351,7 @@ def check_prop5(artifacts: ProofArtifacts, new_network: Network,
                 detail="batched box pre-screen"))
             continue
         res = check_containment(segment, source, target, method=method,
-                                node_limit=node_limit)
+                                node_limit=node_limit, workers=workers)
         report = SubproblemReport.from_containment(name, res)
         report.elapsed += screen_share
         subproblems.append(report)

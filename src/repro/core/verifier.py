@@ -58,7 +58,8 @@ def verify_from_scratch(problem: VerificationProblem,
                         with_network_abstraction: bool = False,
                         netabs_groups: int = 2,
                         netabs_margin: float = 0.0,
-                        node_limit: int = 20000) -> BaselineOutcome:
+                        node_limit: int = 20000,
+                        workers: int = 1) -> BaselineOutcome:
     """Verify ``problem`` from scratch and assemble :class:`ProofArtifacts`.
 
     ``domain="inductive"`` (default) generates state abstractions with the
@@ -88,7 +89,7 @@ def verify_from_scratch(problem: VerificationProblem,
     # 2. Exact work according to the rigor level.
     if rigor in ("threshold", "range") and holds is None:
         res = check_containment(network, din, dout, method="exact",
-                                node_limit=node_limit)
+                                node_limit=node_limit, workers=workers)
         holds = res.holds
         detail = f"exact containment: {res.detail or res.holds}"
     output_range: Optional[Box] = None
@@ -98,7 +99,8 @@ def verify_from_scratch(problem: VerificationProblem,
         # makes Proposition 3 much stronger, but it must not replace S_n
         # inside the layered proof -- that would break the inductive chain
         # property Propositions 1/2 re-enter.
-        output_range = output_range_exact(network, din, node_limit=node_limit)
+        output_range = output_range_exact(network, din, node_limit=node_limit,
+                                          workers=workers)
         if not dout.contains_box(output_range):
             holds = False
             detail = f"exact range {output_range} escapes Dout"

@@ -46,6 +46,12 @@ class BaBResult:
     ``upper_bound`` always soundly over-approximates the true maximum;
     ``incumbent`` is the best *achieved* value (at input ``witness``).
     At ``status == "optimal"`` the two coincide within tolerance.
+
+    ``rounds`` / ``max_batch`` / ``mean_batch`` report the frontier
+    search's per-round concurrency (all zero for the scalar search):
+    how many synchronous rounds ran, and the largest / average number of
+    node LPs solved concurrently per round.  ``workers`` is the pool
+    width the solve was configured with.
     """
 
     status: str
@@ -54,10 +60,27 @@ class BaBResult:
     witness: Optional[np.ndarray]
     nodes: int
     lp_solves: int
+    rounds: int = 0
+    max_batch: int = 0
+    mean_batch: float = 0.0
+    workers: int = 1
 
     @property
     def optimum(self) -> float:
-        """The exact maximum (only meaningful when ``status == "optimal"``)."""
+        """The exact maximum -- defined *only* at ``status == "optimal"``.
+
+        Off the optimal path (``node_limit``, ``threshold_proved``,
+        ``threshold_refuted``, ``infeasible``) ``upper_bound`` is merely a
+        sound over-approximation, and silently returning it here has
+        historically been misread as the exact value.  Raise instead;
+        callers wanting the bound regardless of status read
+        ``upper_bound``/``incumbent`` explicitly.
+        """
+        if self.status != BAB_OPTIMAL:
+            raise SolverError(
+                f"BaBResult.optimum is undefined at status {self.status!r}: "
+                "the search did not run to optimality; use .upper_bound "
+                "(sound bound) or .incumbent (best witness value) instead")
         return self.upper_bound
 
 
@@ -69,7 +92,10 @@ class BaBSolver:
                  tol: float = 1e-6, node_limit: int = 2000,
                  interval_prune: bool = True,
                  lp_form: str = "auto",
-                 node_tighten: bool = False):
+                 node_tighten: bool = False,
+                 workers: int = 1,
+                 frontier_width: Optional[int] = None,
+                 frontier: Optional[bool] = None):
         self.network = network
         self.input_box = input_box
         #: One encoding serves every node of every solve; when the caller
@@ -94,6 +120,20 @@ class BaBSolver:
         #: tightens node relaxations, which can change the search trajectory
         #: relative to the plain triangle LP.
         self.node_tighten = bool(node_tighten)
+        if workers < 1:
+            raise SolverError(f"workers must be positive, got {workers}")
+        #: Concurrency of the frontier search's per-round LP solves (see
+        #: :mod:`repro.exact.parallel_bab`).  ``workers=1`` keeps the
+        #: historical scalar best-first search unless ``frontier=True``
+        #: forces the frontier algorithm (e.g. to benchmark its pure
+        #: concurrency gain at identical trajectories).
+        self.workers = int(workers)
+        #: Nodes expanded per frontier round.  Deliberately *independent*
+        #: of ``workers`` (defaulting to a fixed constant) so the search
+        #: trajectory -- hence status and optimum -- is identical across
+        #: worker counts; raise it explicitly for very wide pools.
+        self.frontier_width = frontier_width
+        self.frontier = self.workers > 1 if frontier is None else bool(frontier)
 
     # ------------------------------------------------------------------ main
     def maximize(self, c: np.ndarray,
@@ -125,7 +165,18 @@ class BaBSolver:
         covering-leaves invariant.  With ``node_tighten`` on, the same pass
         additionally hands each surviving node its clamped pre-activation
         bounds, installed as ``z``-variable bounds in the node's LP delta.
+
+        With ``workers > 1`` (or ``frontier=True``) the search runs as the
+        parallel frontier algorithm of :mod:`repro.exact.parallel_bab`:
+        same soundness guarantees, per-round batched screening and
+        concurrent node LPs on the shared pool.
         """
+        if self.frontier:
+            from repro.exact.parallel_bab import maximize_frontier
+
+            return maximize_frontier(self, c, threshold=threshold,
+                                     initial_nodes=initial_nodes,
+                                     collect_leaves=collect_leaves)
         enc = self.encoding
         tol = self.tol
         objective = enc.output_objective(np.asarray(c, dtype=np.float64))
@@ -144,18 +195,7 @@ class BaBSolver:
         use_screen = self.interval_prune or self.node_tighten
 
         def screen_nodes(phase_maps: List[PhaseMap]):
-            """One batched clamped-interval pass over candidate nodes:
-            objective upper bounds (when pruning), feasibility, and -- with
-            ``node_tighten`` -- per-node pre-activation tightenings."""
-            upper, feasible, pre_lo, pre_hi = phase_clamped_node_bounds(
-                self.network, self.input_box, phase_maps,
-                c_vec if self.interval_prune else None)
-            tights = None
-            if self.node_tighten:
-                tights = [[(pre_lo[k][j], pre_hi[k][j])
-                           for k in range(len(pre_lo))]
-                          for j in range(len(phase_maps))]
-            return upper, feasible, tights
+            return self._screen_nodes(phase_maps, c_vec)
 
         def record_leaf(phases: PhaseMap) -> None:
             if collect_leaves is not None:
@@ -167,12 +207,12 @@ class BaBSolver:
             system = enc.build_lp(phases, form=self.lp_form,
                                   tight_pre=tight_pre)
             return solve_lp(neg_obj, system.a_ub, system.b_ub,
-                            system.a_eq, system.b_eq, system.bounds)
+                            system.a_eq, system.b_eq, system.bounds,
+                            label=f"node {lp_solves}")
 
         def register_feasible(x_input: np.ndarray) -> None:
             nonlocal incumbent, witness
-            x_clipped = self.input_box.clip_point(x_input)
-            value = float(np.dot(c, np.atleast_1d(self.network.forward(x_clipped))))
+            value, x_clipped = self._feasible_value(c_vec, x_input)
             if value > incumbent:
                 incumbent = value
                 witness = x_clipped
@@ -203,19 +243,15 @@ class BaBSolver:
                                  witness, nodes, lp_solves)
         any_feasible = False
         for j, start in enumerate(starts):
-            if use_screen:
-                if not start_feasible[j]:
-                    record_leaf(start)  # phase constraints empty the region
-                    continue
-            if self.interval_prune:
-                ub_est = float(start_ubs[j])
-                if ub_est <= incumbent + tol:
-                    record_leaf(start)  # cannot beat an earlier start
-                    continue
-                if threshold is not None and ub_est <= threshold + tol:
+            ub_est = float(start_ubs[j]) if self.interval_prune else None
+            verdict = self._screen_verdict(
+                ub_est, not use_screen or bool(start_feasible[j]),
+                incumbent, threshold)
+            if verdict != "open":
+                if verdict == "proved":  # region closed below the threshold
                     screened_bound = max(screened_bound, ub_est)
-                    record_leaf(start)  # region proved below the threshold
-                    continue
+                record_leaf(start)  # empty / dominated by an earlier start
+                continue
             res = solve_node(start,
                              start_tights[j] if start_tights else None)
             if res.status == LP_INFEASIBLE:
@@ -273,23 +309,28 @@ class BaBSolver:
                 # One batched pass bounds both siblings before any LP exists.
                 child_ubs, child_feasible, child_tights = screen_nodes(children)
             for j, child in enumerate(children):
-                if use_screen and not child_feasible[j]:
-                    record_leaf(child)  # the phase split emptied the region
-                    continue
-                if self.interval_prune:
-                    ub_est = float(child_ubs[j])
-                    if ub_est <= incumbent + tol:
-                        record_leaf(child)  # interval bound already dominated
-                        continue
-                    if threshold is not None and ub_est <= threshold + tol:
+                ub_est = float(child_ubs[j]) if self.interval_prune else None
+                verdict = self._screen_verdict(
+                    ub_est, not use_screen or bool(child_feasible[j]),
+                    incumbent, threshold)
+                if verdict != "open":
+                    if verdict == "proved":  # closed below the threshold
                         screened_bound = max(screened_bound, ub_est)
-                        record_leaf(child)  # region proved below the threshold
-                        continue
+                    record_leaf(child)  # empty region / dominated bound
+                    continue
                 res = solve_node(child,
                                  child_tights[j] if child_tights else None)
-                if res.status != LP_OPTIMAL:
-                    record_leaf(child)
+                if res.status == LP_INFEASIBLE:
+                    record_leaf(child)  # the region is empty: settled
                     continue
+                if res.status != LP_OPTIMAL:
+                    # An unbounded child relaxation can never be *settled*:
+                    # silently recording it as a leaf would drop an infinite
+                    # upper bound from the search (historical bug).  Node
+                    # LPs over a bounded input box are bounded, so this is
+                    # always a solver/encoding failure worth surfacing.
+                    raise SolverError(
+                        f"child LP ended with status {res.status}")
                 child_bound = -res.value
                 register_feasible(res.x[enc.input_slice])
                 if child_bound <= incumbent + tol:
@@ -297,19 +338,70 @@ class BaBSolver:
                     continue
                 heapq.heappush(heap, (-child_bound, next(counter), child, res.x))
 
-        if threshold is not None and incumbent > threshold + tol:
-            # The incumbent can cross the threshold during the *last*
-            # branching (register_feasible on a child LP) with no further
-            # pop to notice it; report the refutation, not optimality.
-            return BaBResult(BAB_REFUTED, max(incumbent, screened_bound),
-                             incumbent, witness, nodes, lp_solves)
-        if screened_bound > incumbent + tol:
-            # Interval-settled regions (threshold mode) may exceed the
-            # incumbent, so exact optimality is not established -- but every
-            # region is closed below the threshold.
-            return BaBResult(BAB_PROVED, screened_bound, incumbent, witness,
-                             nodes, lp_solves)
-        return BaBResult(BAB_OPTIMAL, incumbent, incumbent, witness, nodes, lp_solves)
+        status, bound = self._terminal_status(incumbent, screened_bound,
+                                              threshold)
+        return BaBResult(status, bound, incumbent, witness, nodes, lp_solves)
+
+    # ------------------------------------------------- shared search pieces
+    def _terminal_status(self, incumbent: float, screened_bound: float,
+                         threshold: Optional[float]) -> Tuple[str, float]:
+        """Resolve the verdict once no open node remains, shared by both
+        searches.  Three subtle cases, in order: the incumbent can cross
+        the threshold during the *last* expansion with no further pop to
+        notice it (refuted, not optimal); interval-settled regions
+        (threshold mode) may exceed the incumbent, so optimality is not
+        established even though every region closed below the threshold;
+        otherwise the incumbent is the exact optimum."""
+        if threshold is not None and incumbent > threshold + self.tol:
+            return BAB_REFUTED, max(incumbent, screened_bound)
+        if screened_bound > incumbent + self.tol:
+            return BAB_PROVED, screened_bound
+        return BAB_OPTIMAL, incumbent
+
+    def _screen_verdict(self, ub_est: Optional[float], feasible: bool,
+                        incumbent: float,
+                        threshold: Optional[float]) -> str:
+        """Settle one screened candidate: ``"empty"`` (region infeasible),
+        ``"dominated"`` (cannot beat ``incumbent``), ``"proved"`` (closed
+        below ``threshold`` on intervals alone) or ``"open"`` (needs its
+        LP).  The single statement of the screen-settling rules, shared by
+        the scalar and frontier searches and by their start/child loops --
+        callers record the leaf / fold ``ub_est`` into the screened bound
+        according to the verdict."""
+        if not feasible:
+            return "empty"
+        if self.interval_prune and ub_est is not None:
+            if ub_est <= incumbent + self.tol:
+                return "dominated"
+            if threshold is not None and ub_est <= threshold + self.tol:
+                return "proved"
+        return "open"
+
+    def _screen_nodes(self, phase_maps: List[PhaseMap], c_vec: np.ndarray):
+        """One batched clamped-interval pass over candidate nodes:
+        objective upper bounds (when pruning), feasibility, and -- with
+        ``node_tighten`` -- per-node pre-activation tightenings.  Shared by
+        the scalar search and the parallel frontier search so the settling
+        rules cannot diverge between the two."""
+        upper, feasible, pre_lo, pre_hi = phase_clamped_node_bounds(
+            self.network, self.input_box, phase_maps,
+            c_vec if self.interval_prune else None)
+        tights = None
+        if self.node_tighten:
+            tights = [[(pre_lo[k][j], pre_hi[k][j])
+                       for k in range(len(pre_lo))]
+                      for j in range(len(phase_maps))]
+        return upper, feasible, tights
+
+    def _feasible_value(self, c_vec: np.ndarray,
+                        x_input: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Clip an LP solution's input point into the box and evaluate the
+        objective on the real network -- the incumbent candidate both
+        searches derive from every optimal node LP."""
+        x_clipped = self.input_box.clip_point(x_input)
+        value = float(np.dot(c_vec, np.atleast_1d(
+            self.network.forward(x_clipped))))
+        return value, x_clipped
 
     def _most_violated(self, x: np.ndarray,
                        phases: PhaseMap) -> Optional[Tuple[int, int]]:
@@ -351,6 +443,10 @@ class BaBSolver:
             witness=res.witness,
             nodes=res.nodes,
             lp_solves=res.lp_solves,
+            rounds=res.rounds,
+            max_batch=res.max_batch,
+            mean_batch=res.mean_batch,
+            workers=res.workers,
         )
 
 
@@ -358,10 +454,12 @@ def maximize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
                     node_limit: int = 2000, tol: float = 1e-6,
                     interval_prune: bool = True,
-                    lp_form: str = "auto") -> BaBResult:
+                    lp_form: str = "auto",
+                    workers: int = 1) -> BaBResult:
     """One-shot ``max c @ f(x)`` over ``input_box`` (see :class:`BaBSolver`)."""
     solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
-                       interval_prune=interval_prune, lp_form=lp_form)
+                       interval_prune=interval_prune, lp_form=lp_form,
+                       workers=workers)
     return solver.maximize(c, threshold=threshold)
 
 
@@ -369,8 +467,10 @@ def minimize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
                     node_limit: int = 2000, tol: float = 1e-6,
                     interval_prune: bool = True,
-                    lp_form: str = "auto") -> BaBResult:
+                    lp_form: str = "auto",
+                    workers: int = 1) -> BaBResult:
     """One-shot ``min c @ f(x)`` over ``input_box``."""
     solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
-                       interval_prune=interval_prune, lp_form=lp_form)
+                       interval_prune=interval_prune, lp_form=lp_form,
+                       workers=workers)
     return solver.minimize(c, threshold=threshold)

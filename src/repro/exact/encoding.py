@@ -266,6 +266,10 @@ _ENCODING_CACHE: "OrderedDict[tuple, NetworkEncoding]" = OrderedDict()
 _ENCODING_CACHE_LOCK = threading.Lock()
 _ENCODING_CACHE_SIZE = 32
 _ENCODING_CACHE_STATS = {"hits": 0, "misses": 0}
+#: Guards the class-level construction counter (``NetworkEncoding.builds``):
+#: ``+=`` on an attribute is not atomic in CPython, and encodings are
+#: constructed from worker threads by the parallel proposition checks.
+_BUILDS_LOCK = threading.Lock()
 
 
 def _network_fingerprint(network: Network) -> bytes:
@@ -327,10 +331,16 @@ class NetworkEncoding:
             raise DomainError("need one pre-activation box per block")
         self._layout()
         self._base: Optional[_LPBase] = None
+        #: One encoding is shared read-only by every concurrent node solve
+        #: of the parallel frontier search; this lock makes the lazy base
+        #: assembly happen exactly once (no duplicated work, no torn reads)
+        #: and keeps the instrumentation counters exact under threads.
+        self._base_lock = threading.Lock()
         #: Instrumentation: sparse base assemblies / LP compositions.
         self.base_builds = 0
         self.lp_builds = 0
-        NetworkEncoding.builds += 1
+        with _BUILDS_LOCK:
+            NetworkEncoding.builds += 1
 
     # ------------------------------------------------------------- memoisation
     @classmethod
@@ -475,7 +485,8 @@ class NetworkEncoding:
         """
         form = self._resolve_form(form, self.num_continuous)
         fixed_phases = fixed_phases or {}
-        self.lp_builds += 1
+        with self._base_lock:
+            self.lp_builds += 1
         if self._find_contradiction(fixed_phases) is not None:
             system = self._infeasible_system(form)
         elif form == "dense":
@@ -544,11 +555,17 @@ class NetworkEncoding:
 
     # ------------------------------------------------- sparse base + deltas
     def _lp_base(self) -> _LPBase:
-        """The cached phase-free sparse system (assembled once)."""
-        if self._base is None:
-            self._base = self._assemble_base()
-            self.base_builds += 1
-        return self._base
+        """The cached phase-free sparse system (assembled exactly once,
+        also under concurrent first use -- see ``_base_lock``)."""
+        base = self._base
+        if base is None:
+            with self._base_lock:
+                base = self._base
+                if base is None:
+                    base = self._assemble_base()
+                    self.base_builds += 1
+                    self._base = base
+        return base
 
     def _init_bounds(self, n: int) -> List[Tuple[Optional[float], Optional[float]]]:
         """Fresh variable-bounds list: input box, everything else free."""

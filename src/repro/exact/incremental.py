@@ -67,7 +67,8 @@ def certify_threshold(network: Network, input_box: Box, c: np.ndarray,
                       threshold: float,
                       node_limit: int = 20000,
                       tol: float = 1e-6,
-                      encoding: Optional[NetworkEncoding] = None) -> tuple:
+                      encoding: Optional[NetworkEncoding] = None,
+                      workers: int = 1) -> tuple:
     """Prove ``max c @ f(x) <= threshold`` and keep the branching certificate.
 
     Returns ``(BaBResult, BranchCertificate | None)`` -- the certificate is
@@ -75,9 +76,11 @@ def certify_threshold(network: Network, input_box: Box, c: np.ndarray,
     a pre-built :class:`NetworkEncoding`; by default one is drawn from the
     fingerprint-keyed cache, so certifying several thresholds or objectives
     over one ``(network, box)`` pair builds the LP base exactly once.
+    ``workers > 1`` runs the parallel frontier search; its settled leaves
+    form exactly the same kind of covering certificate.
     """
     solver = BaBSolver(network, input_box, encoding=encoding,
-                       node_limit=node_limit, tol=tol)
+                       node_limit=node_limit, tol=tol, workers=workers)
     leaves: List[PhaseMap] = []
     result = solver.maximize(np.asarray(c, dtype=np.float64),
                              threshold=threshold, collect_leaves=leaves)
@@ -98,7 +101,8 @@ def prove_with_certificate(network: Network, input_box: Box,
                            threshold: Optional[float] = None,
                            node_limit: int = 20000,
                            tol: float = 1e-6,
-                           encoding: Optional[NetworkEncoding] = None) -> BaBResult:
+                           encoding: Optional[NetworkEncoding] = None,
+                           workers: int = 1) -> BaBResult:
     """Re-prove the threshold on a *modified* problem, warm-started from the
     certificate's leaves.
 
@@ -119,6 +123,9 @@ def prove_with_certificate(network: Network, input_box: Box,
             "branch certificate was built for a different architecture")
     threshold = certificate.threshold if threshold is None else float(threshold)
     solver = BaBSolver(network, input_box, encoding=encoding,
-                       node_limit=node_limit, tol=tol)
+                       node_limit=node_limit, tol=tol, workers=workers)
+    # With workers > 1 the leaf re-solve is the frontier warm start: every
+    # certificate leaf is screened in one batched pass and the surviving
+    # leaf LPs are solved concurrently against the (possibly new) encoding.
     return solver.maximize(certificate.objective, threshold=threshold,
                            initial_nodes=certificate.leaves)

@@ -70,6 +70,7 @@ def solve_lp(c: np.ndarray,
              a_eq=None,
              b_eq: Optional[np.ndarray] = None,
              bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+             label: str = "",
              ) -> LPResult:
     """Minimise ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``
     and variable ``bounds`` (default: free variables).
@@ -78,7 +79,14 @@ def solve_lp(c: np.ndarray,
 
     Raises :class:`SolverError` if HiGHS reports a numerical failure or an
     iteration/time limit -- conditions a verification result must never be
-    silently built on.
+    silently built on.  ``label`` names the solve in that error (essential
+    when many node LPs run concurrently and one fails: the exception must
+    say *which* region's relaxation broke).
+
+    Thread-safety: ``linprog``/HiGHS holds no module state and releases the
+    GIL inside the solve, so concurrent calls from the shared worker pool
+    (:func:`repro.core.parallel.run_parallel`) are safe and genuinely
+    overlap -- the property the parallel frontier search relies on.
     """
     c = np.asarray(c, dtype=np.float64)
     if bounds is None:
@@ -92,14 +100,17 @@ def solve_lp(c: np.ndarray,
     )
     status = _STATUS_MAP.get(res.status)
     if status is None:
-        raise SolverError(f"linprog failed: status={res.status} message={res.message!r}")
+        where = f" [{label}]" if label else ""
+        raise SolverError(
+            f"linprog failed{where}: status={res.status} "
+            f"message={res.message!r}")
     if status == LP_OPTIMAL:
         return LPResult(status=status, value=float(res.fun), x=np.asarray(res.x))
     return LPResult(status=status, value=float("nan"), x=None)
 
 
-def solve_system(c: np.ndarray, system) -> LPResult:
+def solve_system(c: np.ndarray, system, label: str = "") -> LPResult:
     """Solve ``min c @ x`` over a :class:`~repro.exact.encoding.LinearSystem`
     (its integer mask, if any, is relaxed -- this is the LP relaxation)."""
     return solve_lp(c, system.a_ub, system.b_ub, system.a_eq, system.b_eq,
-                    system.bounds)
+                    system.bounds, label=label)

@@ -92,11 +92,12 @@ def _check_split(network: Network, box: Box, target: Box,
 
 
 def _check_exact(network: Network, box: Box, target: Box,
-                 node_limit: int, tol: float) -> ContainmentResult:
-    solver = BaBSolver(network, box, node_limit=node_limit, tol=tol)
+                 node_limit: int, tol: float,
+                 workers: int = 1) -> ContainmentResult:
+    solver = BaBSolver(network, box, node_limit=node_limit, tol=tol,
+                       workers=workers)
     lp_total = 0
     node_total = 0
-    worst = 0.0
     d = network.output_dim
     for i in range(d):
         c = np.zeros(d)
@@ -104,6 +105,9 @@ def _check_exact(network: Network, box: Box, target: Box,
         hi = float(target.upper[i])
         lo = float(target.lower[i])
         if np.isfinite(hi):
+            # Status discipline (see BaBResult.optimum): only REFUTED,
+            # NODE_LIMIT and the sound ``upper_bound`` are consumed here --
+            # never the off-optimal "optimum".
             res = solver.maximize(c, threshold=hi)
             lp_total += res.lp_solves
             node_total += res.nodes
@@ -118,7 +122,6 @@ def _check_exact(network: Network, box: Box, target: Box,
                     holds=None, method="exact", lp_solves=lp_total,
                     nodes=node_total, detail=f"node limit on output {i} (max)",
                 )
-            worst = max(worst, res.upper_bound - hi)
         if np.isfinite(lo):
             res = solver.minimize(c, threshold=lo)
             lp_total += res.lp_solves
@@ -142,8 +145,14 @@ def check_containment(network: Network, input_box: Box, target: Box,
                       method: str = "auto",
                       node_limit: int = 2000,
                       max_boxes: int = 2000,
-                      tol: float = 1e-6) -> ContainmentResult:
-    """Decide ``∀x ∈ input_box : f(x) ∈ target`` (see module docstring)."""
+                      tol: float = 1e-6,
+                      workers: int = 1) -> ContainmentResult:
+    """Decide ``∀x ∈ input_box : f(x) ∈ target`` (see module docstring).
+
+    ``workers > 1`` runs the exact branch-and-bound legs as the parallel
+    frontier search (:mod:`repro.exact.parallel_bab`) -- same verdicts,
+    concurrent node LPs.
+    """
     if method not in METHODS:
         raise DomainError(f"unknown method {method!r}; choose from {METHODS}")
     if target.dim != network.output_dim:
@@ -156,25 +165,29 @@ def check_containment(network: Network, input_box: Box, target: Box,
     elif method == "split":
         result = _check_split(network, input_box, target, max_boxes)
     elif method == "exact":
-        result = _check_exact(network, input_box, target, node_limit, tol)
+        result = _check_exact(network, input_box, target, node_limit, tol,
+                              workers=workers)
     else:  # auto: cheap first, exact as the decider
         result = _check_symbolic(network, input_box, target)
         if not result.conclusive:
-            result = _check_exact(network, input_box, target, node_limit, tol)
+            result = _check_exact(network, input_box, target, node_limit, tol,
+                                  workers=workers)
             result.method = "auto(exact)"
     result.elapsed = time.perf_counter() - start
     return result
 
 
 def output_range_exact(network: Network, input_box: Box,
-                       node_limit: int = 2000, tol: float = 1e-6) -> Box:
+                       node_limit: int = 2000, tol: float = 1e-6,
+                       workers: int = 1) -> Box:
     """Exact elementwise output range of ``network`` over ``input_box``.
 
     Runs one branch-and-bound maximisation and minimisation per output
     neuron, sharing the encoding.  Raises :class:`DomainError` if any solve
     hits the node limit (callers wanting partial answers use ``BaBSolver``).
     """
-    solver = BaBSolver(network, input_box, node_limit=node_limit, tol=tol)
+    solver = BaBSolver(network, input_box, node_limit=node_limit, tol=tol,
+                       workers=workers)
     d = network.output_dim
     lows: List[float] = []
     highs: List[float] = []
@@ -188,6 +201,8 @@ def output_range_exact(network: Network, input_box: Box,
                 f"branch-and-bound node limit reached on output {i}; "
                 "raise node_limit or shrink the input box"
             )
-        highs.append(hi.upper_bound)
-        lows.append(lo.upper_bound)
+        # ``optimum`` (not ``upper_bound``) so an unexpected off-optimal
+        # status raises instead of silently storing a non-tight range.
+        highs.append(hi.optimum)
+        lows.append(lo.optimum)
     return Box(np.asarray(lows), np.asarray(highs))

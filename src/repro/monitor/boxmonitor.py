@@ -72,12 +72,27 @@ class BoxMonitor:
 
         Out-of-bound observations extend the running enlargement record and
         append an :class:`EnlargementEvent`.
+
+        A feature vector containing NaN or ±inf is *rejected*: it counts as
+        out-of-bound (sensor fault -- the property monitored for certainly
+        does not hold) and is logged with ``nonfinite=True``, but it never
+        touches the enlargement record.  Folding a NaN into the running
+        min/max would poison ``Din ∪ Δin`` (NaN comparisons silently drop
+        the update on some dims and keep it on others), and an inf would
+        hand the next verification task an unbounded domain.
         """
         din = self.din
         x = np.asarray(feature, dtype=np.float64).reshape(-1)
         if x.size != din.dim:
             raise MonitorError(f"feature dim {x.size} != monitored dim {din.dim}")
         self._step += 1
+        finite = np.isfinite(x)
+        if not finite.all():
+            self.events.append(EnlargementEvent(
+                step=self._step, excess=float("inf"),
+                dimensions=np.flatnonzero(~finite).tolist(),
+                nonfinite=True))
+            return False
         inside = din.contains_point(x, tol=0.0)
         if not inside:
             excess = float(np.max(np.maximum(din.lower - x, x - din.upper)))
@@ -93,31 +108,48 @@ class BoxMonitor:
         window, with per-row events only materialised for violations.
 
         Semantically identical to calling :meth:`observe` row by row (same
-        events, step numbers, and enlargement record) but the common
-        all-in-bounds case costs a single numpy pass instead of one Python
-        call per frame.
+        events, step numbers, enlargement record, and non-finite rejection)
+        but the common all-in-bounds case costs a single numpy pass instead
+        of one Python call per frame.
         """
         din = self.din
         arr = np.atleast_2d(np.asarray(features, dtype=np.float64))
         if arr.ndim != 2 or arr.shape[1] != din.dim:
             raise MonitorError(
                 f"feature window shape {arr.shape} != (N, {din.dim})")
-        inside = din.contains_points(arr, tol=0.0)
+        finite = np.isfinite(arr).all(axis=1)
+        inside = din.contains_points(arr, tol=0.0) & finite
         base_step = self._step
         self._step += arr.shape[0]
         bad = np.flatnonzero(~inside)
         if bad.size:
+            # One vectorised pass for the finite violations (gaps) and one
+            # for the non-finite rejections (offending dims); the Python
+            # loop below only materialises event objects.
             rows = arr[bad]
+            rows_finite = finite[bad]
             gaps = np.maximum(din.lower - rows, rows - din.upper)
-            for offset, row, gap in zip(bad, rows, gaps):
+            bad_dims = ~np.isfinite(rows)
+            for j, offset in enumerate(bad):
+                if not rows_finite[j]:
+                    # Same rejection as the scalar path: counted, flagged,
+                    # excluded from the enlargement record below.
+                    self.events.append(EnlargementEvent(
+                        step=base_step + int(offset) + 1,
+                        excess=float("inf"),
+                        dimensions=np.flatnonzero(bad_dims[j]).tolist(),
+                        nonfinite=True))
+                    continue
                 self.events.append(EnlargementEvent(
                     step=base_step + int(offset) + 1,
-                    excess=float(np.max(gap)),
-                    dimensions=np.flatnonzero(gap > 0).tolist()))
-            self._observed_low = np.minimum(self._observed_low,
-                                            rows.min(axis=0))
-            self._observed_high = np.maximum(self._observed_high,
-                                             rows.max(axis=0))
+                    excess=float(np.max(gaps[j])),
+                    dimensions=np.flatnonzero(gaps[j] > 0).tolist()))
+            record = rows[rows_finite]
+            if record.size:
+                self._observed_low = np.minimum(self._observed_low,
+                                                record.min(axis=0))
+                self._observed_high = np.maximum(self._observed_high,
+                                                 record.max(axis=0))
         return inside
 
     def screen_window(self, features: np.ndarray,
@@ -148,18 +180,30 @@ class BoxMonitor:
     # ---------------------------------------------------------------- results
     @property
     def out_of_bound_count(self) -> int:
+        """All rejections, non-finite observations included."""
         return len(self.events)
+
+    @property
+    def nonfinite_count(self) -> int:
+        """Observations rejected because a feature was NaN or infinite."""
+        return sum(1 for e in self.events if e.nonfinite)
 
     def enlarged_box(self, buffer: Optional[float] = None) -> Box:
         """``Din ∪ Δin``: the calibrated box joined with every out-of-bound
         observation (optionally re-buffered) -- the input domain of the next
-        verification problem."""
+        verification problem.
+
+        Only *finite* out-of-bound observations enlarge the domain:
+        non-finite rejections carry no usable coordinates, so a run seeing
+        nothing but sensor faults keeps ``Din`` unchanged instead of
+        inflating it by the buffer around nothing.
+        """
         din = self.din
         if self._observed_low is None:
             return din
         extra = self.buffer if buffer is None else float(buffer)
         observed = Box(self._observed_low, self._observed_high)
-        if self.out_of_bound_count:
+        if self.out_of_bound_count > self.nonfinite_count:
             observed = self._apply_floor(observed.inflate(extra))
         return din.union(observed)
 
@@ -170,8 +214,10 @@ class BoxMonitor:
         return Box(lower, np.maximum(box.upper, lower))
 
     def delta_box(self) -> Optional[Box]:
-        """Bounding box of the enlargement alone (``None`` if no events)."""
-        if not self.out_of_bound_count:
+        """Bounding box of the enlargement alone (``None`` if nothing
+        enlarged -- non-finite rejections carry no coordinates, so a run
+        with only those reports no enlargement)."""
+        if self.out_of_bound_count <= self.nonfinite_count:
             return None
         return self.enlarged_box()
 

@@ -14,22 +14,30 @@ class EnlargementEvent:
 
     ``excess`` is how far (in feature units) the worst dimension escaped the
     calibrated box; ``dimensions`` lists the offending feature indices.
+    ``nonfinite`` marks observations rejected because some feature was NaN
+    or infinite: they count as out-of-bound (``excess`` is ``inf``,
+    ``dimensions`` the non-finite indices) but are *excluded* from the
+    enlargement record -- a NaN/inf must never widen ``Din ∪ Δin``.
     """
 
     step: int
     excess: float
     dimensions: List[int] = field(default_factory=list)
+    nonfinite: bool = False
 
 
 def summarize_events(events: List[EnlargementEvent]) -> dict:
     """Aggregate statistics used by reports and the monitor benchmark."""
     if not events:
-        return {"count": 0, "max_excess": 0.0, "dimensions_touched": 0}
+        return {"count": 0, "max_excess": 0.0, "dimensions_touched": 0,
+                "nonfinite": 0}
     touched = set()
     for event in events:
         touched.update(event.dimensions)
+    finite_excesses = [e.excess for e in events if not e.nonfinite]
     return {
         "count": len(events),
-        "max_excess": max(event.excess for event in events),
+        "max_excess": max(finite_excesses) if finite_excesses else 0.0,
         "dimensions_touched": len(touched),
+        "nonfinite": sum(1 for e in events if e.nonfinite),
     }

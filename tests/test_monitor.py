@@ -80,10 +80,74 @@ class TestObservation:
         assert mon.out_of_bound_count == 0
 
 
+class TestNonFiniteFeatures:
+    """NaN/inf features: rejected identically by both observation paths,
+    counted as out-of-bound, never folded into the enlargement record."""
+
+    @staticmethod
+    def _calibrated(rng):
+        mon = BoxMonitor(buffer=0.1)
+        mon.calibrate(rng.uniform(size=(40, 3)))
+        return mon
+
+    def test_observe_rejects_and_counts(self, rng):
+        mon = self._calibrated(rng)
+        assert not mon.observe(np.array([np.nan, 0.5, 0.5]))
+        assert not mon.observe(np.array([0.5, np.inf, -np.inf]))
+        assert mon.out_of_bound_count == 2
+        assert mon.nonfinite_count == 2
+        assert mon.events[0].nonfinite and mon.events[0].dimensions == [0]
+        assert mon.events[1].dimensions == [1, 2]
+        assert mon.events[1].excess == np.inf
+
+    def test_enlargement_record_stays_finite(self, rng):
+        mon = self._calibrated(rng)
+        mon.observe(np.array([np.inf, 0.5, 0.5]))
+        mon.observe(np.array([2.0, 0.5, 0.5]))  # genuine finite outlier
+        big = mon.enlarged_box()
+        assert np.isfinite(big.lower).all() and np.isfinite(big.upper).all()
+        assert big.contains_point(np.array([2.0, 0.5, 0.5]))
+
+    def test_nonfinite_only_run_keeps_din(self, rng):
+        mon = self._calibrated(rng)
+        din = mon.din
+        mon.observe(np.full(3, np.nan))
+        assert mon.out_of_bound_count == 1
+        assert mon.delta_box() is None  # no coordinates => no enlargement
+        big = mon.enlarged_box()
+        np.testing.assert_allclose(big.lower, din.lower)
+        np.testing.assert_allclose(big.upper, din.upper)
+
+    def test_batch_matches_scalar_path(self, rng):
+        window = np.array([
+            [0.5, 0.5, 0.5],
+            [np.nan, 0.5, 0.5],
+            [3.0, 0.5, 0.5],
+            [0.5, -np.inf, np.inf],
+        ])
+        feats = rng.uniform(size=(40, 3))
+        scalar, batched = BoxMonitor(buffer=0.1), BoxMonitor(buffer=0.1)
+        scalar.calibrate(feats)
+        batched.calibrate(feats)
+        flags = [scalar.observe(row) for row in window]
+        mask = batched.observe_batch(window)
+        assert flags == mask.tolist() == [True, False, False, False]
+        key = [(e.step, e.excess, e.dimensions, e.nonfinite)
+               for e in scalar.events]
+        assert key == [(e.step, e.excess, e.dimensions, e.nonfinite)
+                       for e in batched.events]
+        assert scalar.out_of_bound_count == batched.out_of_bound_count == 3
+        assert scalar.nonfinite_count == batched.nonfinite_count == 2
+        big_s, big_b = scalar.enlarged_box(), batched.enlarged_box()
+        np.testing.assert_allclose(big_s.lower, big_b.lower)
+        np.testing.assert_allclose(big_s.upper, big_b.upper)
+
+
 class TestEventSummary:
     def test_empty(self):
         assert summarize_events([]) == {
-            "count": 0, "max_excess": 0.0, "dimensions_touched": 0}
+            "count": 0, "max_excess": 0.0, "dimensions_touched": 0,
+            "nonfinite": 0}
 
     def test_aggregates(self, rng):
         mon = BoxMonitor()
@@ -94,3 +158,14 @@ class TestEventSummary:
         assert s["count"] == 2
         assert s["dimensions_touched"] == 2
         assert s["max_excess"] >= 7.0
+        assert s["nonfinite"] == 0
+
+    def test_nonfinite_excluded_from_max_excess(self, rng):
+        mon = BoxMonitor()
+        mon.calibrate(rng.uniform(size=(20, 3)))
+        mon.observe(np.array([5.0, 0.5, 0.5]))
+        mon.observe(np.array([np.nan, 0.5, 0.5]))
+        s = summarize_events(mon.events)
+        assert s["count"] == 2
+        assert s["nonfinite"] == 1
+        assert np.isfinite(s["max_excess"])
