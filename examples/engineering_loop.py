@@ -7,11 +7,17 @@ expectation to encounter multiple domain enlargement and fine-tuning
 activities" -- letting the loop decide when proof reuse suffices and when
 the artifacts must be refreshed from scratch.
 
+The loop now runs on the unified :mod:`repro.api` engine: one
+:class:`~repro.api.VerifyConfig` carries every solver knob, and the same
+declarative machinery is reachable one change at a time via
+``ContinuousLoopSpec`` (see ``examples/quickstart.py``).
+
 Run:  python examples/engineering_loop.py
 """
 
 import numpy as np
 
+from repro.api import VerifyConfig
 from repro.core import EngineeringLoop, VerificationProblem
 from repro.domains import Box
 from repro.domains.propagate import inductive_states
@@ -30,7 +36,8 @@ def main() -> None:
     sn = inductive_states(net, din, 0.03)[-1]
     dout = sn.inflate(0.4 * float(sn.widths.max()) + 0.2)
     loop = EngineeringLoop(VerificationProblem(net, din, dout),
-                           state_buffer=0.03, rigor="abstract")
+                           state_buffer=0.03, rigor="abstract",
+                           config=VerifyConfig(workers=1))
 
     print("initial verification ...")
     step = loop.initial_verification()

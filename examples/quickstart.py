@@ -1,11 +1,12 @@
 """Quickstart: verify a network once, then reuse the proof twice.
 
-Demonstrates the library's core loop in under a minute:
+Demonstrates the library's core loop through the unified :mod:`repro.api`
+engine in under a minute:
 
-1. build and verify a small ReLU network (``verify_from_scratch`` produces
+1. build and verify a small ReLU network (``engine.baseline`` produces
    the reusable proof artifacts);
 2. the input domain grows (as if a runtime monitor reported new inputs) --
-   settle the SVuDC problem by proof reuse;
+   settle the SVuDC problem by proof reuse (``ContinuousLoopSpec``);
 3. the network is fine-tuned -- settle the SVbTV problem by proof reuse.
 
 Run:  python examples/quickstart.py
@@ -13,14 +14,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import (
-    ContinuousVerifier,
-    SVbTV,
-    SVuDC,
-    VerificationProblem,
-    format_continuous_result,
-    verify_from_scratch,
-)
+from repro.api import ContinuousLoopSpec, VerificationEngine, VerifyConfig
+from repro.core import VerificationProblem, format_continuous_result
 from repro.domains import Box
 from repro.domains.propagate import inductive_states
 from repro.nn import TrainConfig, fine_tune, random_relu_network, train
@@ -43,25 +38,30 @@ def main() -> None:
     dout = sn.inflate(0.25 * float(sn.widths.max()) + 0.1)
     problem = VerificationProblem(net, din, dout)
 
-    print("== original verification (from scratch) ==")
-    baseline = verify_from_scratch(problem, state_buffer=0.03)
-    print(f"safe: {baseline.holds}   time: {baseline.elapsed:.3f}s   "
-          f"artifacts: states={baseline.artifacts.states is not None}, "
-          f"lipschitz={baseline.artifacts.lipschitz.ell:.3g}")
+    # One engine, one config: every knob in a single place.
+    engine = VerificationEngine(VerifyConfig(workers=1))
 
-    verifier = ContinuousVerifier(baseline.artifacts)
+    print("== original verification (from scratch) ==")
+    baseline = engine.baseline(problem, state_buffer=0.03)
+    artifacts = baseline.artifacts
+    print(f"safe: {baseline.holds}   time: {baseline.provenance.elapsed:.3f}s   "
+          f"artifacts: states={artifacts.states is not None}, "
+          f"lipschitz={artifacts.lipschitz.ell:.3g}")
 
     print("\n== SVuDC: the input domain grew ==")
     enlarged = din.inflate(0.02)
-    result = verifier.verify_domain_change(SVuDC(problem, enlarged))
-    print(format_continuous_result(result, baseline.elapsed))
+    verdict = engine.verify(ContinuousLoopSpec(artifacts=artifacts,
+                                               enlarged_din=enlarged))
+    print(format_continuous_result(verdict.result, baseline.result.elapsed))
 
     print("\n== SVbTV: the network was fine-tuned ==")
     tuned = fine_tune(net, x, y + rng.normal(0, 0.01, size=y.shape),
                       learning_rate=1e-3, epochs=1)
     print(f"max weight delta: {net.max_weight_delta(tuned):.2e}")
-    result = verifier.verify_new_version(SVbTV(problem, tuned))
-    print(format_continuous_result(result, baseline.elapsed))
+    verdict = engine.verify(ContinuousLoopSpec(artifacts=artifacts,
+                                               new_network=tuned))
+    print(format_continuous_result(verdict.result, baseline.result.elapsed))
+    print(f"encoding reuse this round: {verdict.provenance.encoding_reuse}")
 
 
 if __name__ == "__main__":

@@ -8,31 +8,34 @@ MILP/branch-and-bound verification, Lipschitz estimation, network
 abstraction, runtime monitoring, and a synthetic 1/10-scale vehicle
 platform).
 
-Quick start::
+Quick start (the unified :mod:`repro.api` engine)::
 
     import numpy as np
+    from repro.api import (ContinuousLoopSpec, VerificationEngine,
+                           VerifyConfig)
     from repro.nn import random_relu_network
     from repro.domains import Box
-    from repro.core import (VerificationProblem, SVuDC, verify_from_scratch,
-                            ContinuousVerifier)
+    from repro.core import VerificationProblem
 
     net = random_relu_network([4, 16, 16, 2], seed=0)
     problem = VerificationProblem(net, din=Box(-np.ones(4), np.ones(4)),
                                   dout=Box(-50 * np.ones(2), 50 * np.ones(2)))
-    baseline = verify_from_scratch(problem)          # proof + artifacts
+    engine = VerificationEngine(VerifyConfig(workers=1))
+    baseline = engine.baseline(problem)              # proof + artifacts
     enlarged = problem.din.inflate(0.05)             # monitor found new inputs
-    verifier = ContinuousVerifier(baseline.artifacts)
-    result = verifier.verify_domain_change(SVuDC(problem, enlarged))
+    result = engine.verify(ContinuousLoopSpec(
+        artifacts=baseline.artifacts, enlarged_din=enlarged))
     assert result.holds
 """
 
-from repro import core, domains, exact, lipschitz, monitor, netabs, nn, vehicle
+from repro import api, core, domains, exact, lipschitz, monitor, netabs, nn, vehicle
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "api",
     "core",
     "domains",
     "exact",

@@ -1,0 +1,210 @@
+"""One configuration object for every verification entry point.
+
+Before :mod:`repro.api`, each of the ~12 free functions hand-threaded its
+own ``tol=`` / ``node_limit=`` / ``workers=`` keyword defaults, and adding
+one engine knob meant touching a dozen signatures (PR 3 did exactly that
+for ``workers=``).  :class:`VerifyConfig` is now the *single source* of
+those defaults:
+
+* the module-level ``DEFAULT_*`` constants below are the only place a
+  default value is written down;
+* every legacy signature's keyword default references these constants
+  (``tests/test_api.py`` asserts no entry point overrides them
+  independently);
+* the engine and all internal orchestration pass one frozen
+  :class:`VerifyConfig` instead of loose kwargs.
+
+This module is deliberately a leaf (stdlib + :mod:`repro.errors` only) so
+the low-level solver modules can import the defaults without a cycle.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_TOL",
+    "DEFAULT_NODE_LIMIT",
+    "DEFAULT_FULL_NODE_LIMIT",
+    "DEFAULT_MAX_BOXES",
+    "DEFAULT_WORKERS",
+    "DEFAULT_METHOD",
+    "DEFAULT_DOMAIN",
+    "DEFAULT_LP_FORM",
+    "DEFAULT_ENCODING_CACHE",
+    "ENCODING_CACHE_POLICIES",
+    "LegacyEntryPointWarning",
+    "VerifyConfig",
+    "warn_legacy",
+]
+
+#: Optimality / threshold tolerance of the exact branch-and-bound legs.
+DEFAULT_TOL = 1e-6
+#: Node budget for *local* exact checks (containment, propositions).
+DEFAULT_NODE_LIMIT = 2000
+#: Node budget for *global* solves (from-scratch verification, threshold
+#: certificates, the continuous loop's full-re-verification fallback).
+DEFAULT_FULL_NODE_LIMIT = 20000
+#: Box budget of the split-refinement containment method.
+DEFAULT_MAX_BOXES = 2000
+#: Worker-pool width; ``>= 2`` switches the exact legs to the parallel
+#: frontier search (verdicts do not depend on the pool width).
+DEFAULT_WORKERS = 1
+#: Containment method cascade (``repro.exact.verify.METHODS``).
+DEFAULT_METHOD = "auto"
+#: Abstract domain used for layerwise rebuilds (prop2, incremental fixing).
+DEFAULT_DOMAIN = "symbolic"
+#: LP composition form (``"auto"`` picks dense only for tiny systems).
+DEFAULT_LP_FORM = "auto"
+#: Encoding-cache policy: ``"shared"`` draws from the process-wide
+#: fingerprint-keyed cache (PR 2); ``"private"`` builds a fresh encoding
+#: per solve, bypassing the cache (isolation for benchmarks/tests).
+DEFAULT_ENCODING_CACHE = "shared"
+
+ENCODING_CACHE_POLICIES = ("shared", "private")
+
+_METHODS = ("symbolic", "split", "exact", "auto")
+#: Mirrors repro.domains.propagate.PROPAGATORS (kept static so this module
+#: stays a leaf; the registry test cross-checks the two).
+_DOMAINS = ("box", "symbolic", "zonotope", "deeppoly")
+_LP_FORMS = ("auto", "sparse", "dense")
+
+
+class LegacyEntryPointWarning(DeprecationWarning):
+    """Raised (as a warning) by the pre-``repro.api`` free functions.
+
+    A distinct subclass so the CI gate can fail on *our* shims triggering
+    from inside ``src/`` without tripping over third-party deprecations.
+    """
+
+
+def warn_legacy(old: str, replacement: str) -> None:
+    """Emit the one deprecation warning a legacy shim owes its call site.
+
+    ``stacklevel=3`` attributes the warning to the *caller of the shim*
+    (shim -> here -> warnings.warn), and the standard ``__warningregistry__``
+    dedup makes it fire once per call site under the default filter.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} via repro.api "
+        "(VerificationEngine.verify)",
+        LegacyEntryPointWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Every knob of the verification engine, with the canonical defaults.
+
+    Frozen so one instance can be shared across threads, the engine, and
+    the fingerprint-keyed caches without defensive copying; derive variants
+    with :meth:`replace`.
+    """
+
+    tol: float = DEFAULT_TOL
+    node_limit: int = DEFAULT_NODE_LIMIT
+    full_node_limit: int = DEFAULT_FULL_NODE_LIMIT
+    max_boxes: int = DEFAULT_MAX_BOXES
+    workers: int = DEFAULT_WORKERS
+    #: Nodes expanded per frontier round (``None`` = the solver's fixed
+    #: constant, keeping verdicts independent of the pool width).
+    frontier_width: Optional[int] = None
+    method: str = DEFAULT_METHOD
+    domain: str = DEFAULT_DOMAIN
+    lp_form: str = DEFAULT_LP_FORM
+    interval_prune: bool = True
+    node_tighten: bool = False
+    encoding_cache: str = DEFAULT_ENCODING_CACHE
+
+    def __post_init__(self):
+        if not (self.tol > 0):
+            raise ReproError(f"tol must be positive, got {self.tol}")
+        if self.node_limit < 1:
+            raise ReproError(f"node_limit must be >= 1, got {self.node_limit}")
+        if self.full_node_limit < 1:
+            raise ReproError(
+                f"full_node_limit must be >= 1, got {self.full_node_limit}")
+        if self.max_boxes < 1:
+            raise ReproError(f"max_boxes must be >= 1, got {self.max_boxes}")
+        if self.workers < 1:
+            raise ReproError(f"workers must be positive, got {self.workers}")
+        if self.frontier_width is not None and self.frontier_width < 1:
+            raise ReproError(
+                f"frontier_width must be >= 1, got {self.frontier_width}")
+        if self.method not in _METHODS:
+            raise ReproError(
+                f"unknown method {self.method!r}; choose from {_METHODS}")
+        if self.domain not in _DOMAINS:
+            raise ReproError(
+                f"unknown domain {self.domain!r}; choose from {_DOMAINS}")
+        if self.lp_form not in _LP_FORMS:
+            raise ReproError(
+                f"unknown lp_form {self.lp_form!r}; choose from {_LP_FORMS}")
+        if self.encoding_cache not in ENCODING_CACHE_POLICIES:
+            raise ReproError(
+                f"unknown encoding-cache policy {self.encoding_cache!r}; "
+                f"choose from {ENCODING_CACHE_POLICIES}")
+
+    # ------------------------------------------------------------- derivation
+    def replace(self, **overrides) -> "VerifyConfig":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def with_overrides(self, **maybe) -> "VerifyConfig":
+        """Like :meth:`replace` but ``None`` values mean "keep mine" --
+        the adapter between legacy keyword signatures and the config."""
+        overrides = {k: v for k, v in maybe.items() if v is not None}
+        return self.replace(**overrides) if overrides else self
+
+    @property
+    def effective_full_node_limit(self) -> int:
+        """Budget for global solves: never below the local budget."""
+        return max(self.node_limit, self.full_node_limit)
+
+    # ---------------------------------------------------------- solver bridge
+    def bab_kwargs(self) -> Dict:
+        """Keyword arguments for :class:`repro.exact.bab.BaBSolver`."""
+        return {
+            "tol": self.tol,
+            "node_limit": self.node_limit,
+            "workers": self.workers,
+            "frontier_width": self.frontier_width,
+            "lp_form": self.lp_form,
+            "interval_prune": self.interval_prune,
+            "node_tighten": self.node_tighten,
+        }
+
+    def encoding_for(self, network, input_box):
+        """An encoding honouring :attr:`encoding_cache` (``None`` lets the
+        solver draw from the shared cache itself)."""
+        if self.encoding_cache == "shared":
+            return None
+        from repro.exact.encoding import NetworkEncoding
+
+        return NetworkEncoding(network, input_box)
+
+    # ------------------------------------------------------------------- JSON
+    def to_dict(self) -> Dict:
+        """JSON-safe mapping (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "VerifyConfig":
+        """Build from a mapping, rejecting unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"unknown VerifyConfig keys {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        return cls(**data)
+
+
+# Not a field default, but the frontier constant belongs to the same audit:
+# repro.exact.parallel_bab.FRONTIER_WIDTH stays the solver-level source for
+# ``frontier_width=None`` so trajectories remain pool-width independent.

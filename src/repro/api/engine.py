@@ -1,0 +1,338 @@
+"""The job-oriented facade: one engine over every verification entry point.
+
+:class:`VerificationEngine` executes declarative Specs
+(:mod:`repro.api.specs`) under one :class:`~repro.api.config.VerifyConfig`
+and returns uniform :class:`~repro.api.verdict.Verdict` objects:
+
+* ``engine.verify(spec)``   -- run one Spec;
+* ``engine.submit(specs)``  -- run a bag of independent Specs, batched
+  onto the shared worker pool of :mod:`repro.core.parallel` (results in
+  submission order, verdicts identical to sequential execution);
+* ``engine.baseline(problem)`` -- the from-scratch verification that
+  seeds the continuous loop's proof artifacts.
+
+Every run draws encodings from the fingerprint-keyed cache of PR 2
+(unless the config's ``encoding_cache="private"``) and reports the cache
+delta, wall time, and LP/node counts as :class:`Provenance`.  The legacy
+free functions are now thin deprecation shims over this class; new code
+and future sharding/async layers extend the engine, not N signatures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.exact.encoding import encoding_cache_stats
+from repro.api.config import VerifyConfig
+from repro.api.specs import (
+    ContainmentSpec,
+    ContinuousLoopSpec,
+    MaximizeSpec,
+    OutputRangeSpec,
+    PropositionSpec,
+    Spec,
+    ThresholdSpec,
+)
+from repro.api.verdict import (
+    BaselineVerdict,
+    ContainmentVerdict,
+    ContinuousVerdict,
+    MaximizeVerdict,
+    PropositionVerdict,
+    RangeVerdict,
+    ThresholdVerdict,
+    Verdict,
+)
+
+__all__ = ["VerificationEngine", "verify", "submit"]
+
+#: Historical per-proposition containment-method defaults (``None`` means
+#: "use the config's method"): prop2 rebuilds layerwise and decides each
+#: re-entry exactly; prop6's safety re-check is an abstract bound.
+_PROP_METHOD_DEFAULTS: Dict[int, Optional[str]] = {
+    1: None, 2: "exact", 4: None, 5: None, 6: "symbolic",
+}
+
+
+class _Run:
+    """Provenance bookkeeping around one spec execution."""
+
+    def __init__(self):
+        self.snapshot = encoding_cache_stats()
+        self.started = time.perf_counter()
+
+    def provenance(self, config: VerifyConfig, *, lp_solves: int = 0,
+                   nodes: int = 0, rounds: int = 0):
+        from repro.api.verdict import Provenance
+
+        now = encoding_cache_stats()
+        return Provenance(
+            elapsed=time.perf_counter() - self.started,
+            lp_solves=int(lp_solves),
+            nodes=int(nodes),
+            rounds=int(rounds),
+            workers=config.workers,
+            encoding_reuse={k: now[k] - self.snapshot.get(k, 0) for k in now},
+        )
+
+
+class VerificationEngine:
+    """Executes Specs under one shared :class:`VerifyConfig`."""
+
+    def __init__(self, config: Optional[VerifyConfig] = None):
+        self.config = config or VerifyConfig()
+
+    # ------------------------------------------------------------------ jobs
+    def verify(self, spec: Spec, config: Optional[VerifyConfig] = None) -> Verdict:
+        """Run one Spec and return its :class:`Verdict`."""
+        cfg = config or self.config
+        handler = self._HANDLERS.get(type(spec))
+        if handler is None:
+            raise ReproError(
+                f"VerificationEngine cannot execute {type(spec).__name__}; "
+                "supported Specs: "
+                + ", ".join(sorted(c.__name__ for c in self._HANDLERS)))
+        return handler(self, spec, cfg)
+
+    def submit(self, specs: Iterable[Spec],
+               config: Optional[VerifyConfig] = None) -> List[Verdict]:
+        """Run independent Specs as one batch on the shared pool.
+
+        With ``workers > 1`` the spec evaluations overlap on the module
+        pool of :mod:`repro.core.parallel` (nested frontier solves divert
+        or degrade gracefully there).  Verdicts are identical to running
+        each spec alone -- the frontier trajectory depends only on the
+        configured width, never on granted concurrency -- but per-verdict
+        ``encoding_reuse`` deltas overlap in time and are only meaningful
+        summed over the batch.
+        """
+        cfg = config or self.config
+        spec_list = list(specs)
+        width = min(cfg.workers, len(spec_list))
+        if width <= 1:
+            return [self.verify(spec, cfg) for spec in spec_list]
+        from repro.core.parallel import run_parallel
+
+        tasks = [(f"spec{i}", (lambda s=spec: self.verify(s, cfg)))
+                 for i, spec in enumerate(spec_list)]
+        return [value for _, value, _ in run_parallel(tasks, workers=width)]
+
+    # -------------------------------------------------------------- baseline
+    def baseline(self, problem, *, domain: str = "inductive",
+                 state_buffer: float = 0.02, rigor: str = "range",
+                 lipschitz_ord: float = 2,
+                 with_network_abstraction: bool = False,
+                 netabs_groups: int = 2, netabs_margin: float = 0.0,
+                 config: Optional[VerifyConfig] = None) -> BaselineVerdict:
+        """From-scratch verification producing reusable proof artifacts
+        (the engine-native form of the legacy ``verify_from_scratch``)."""
+        from repro.core.verifier import _verify_from_scratch
+
+        cfg = config or self.config
+        run = _Run()
+        outcome = _verify_from_scratch(
+            problem, domain=domain, state_buffer=state_buffer, rigor=rigor,
+            lipschitz_ord=lipschitz_ord,
+            with_network_abstraction=with_network_abstraction,
+            netabs_groups=netabs_groups, netabs_margin=netabs_margin,
+            config=cfg)
+        return BaselineVerdict(
+            spec_type="baseline",
+            holds=outcome.holds,
+            provenance=run.provenance(cfg, lp_solves=outcome.lp_solves,
+                                      nodes=outcome.nodes),
+            detail=outcome.detail,
+            result=outcome,
+        )
+
+    # -------------------------------------------------------------- handlers
+    def _verify_containment(self, spec: ContainmentSpec,
+                            cfg: VerifyConfig) -> ContainmentVerdict:
+        from repro.exact.verify import _check_containment
+
+        run = _Run()
+        result = _check_containment(
+            spec.network, spec.input_box, spec.target,
+            method=spec.method if spec.method is not None else cfg.method,
+            config=cfg)
+        return ContainmentVerdict(
+            spec_type=spec.spec_type,
+            holds=result.holds,
+            provenance=run.provenance(cfg, lp_solves=result.lp_solves,
+                                      nodes=result.nodes),
+            detail=result.detail or result.method,
+            result=result,
+        )
+
+    def _verify_output_range(self, spec: OutputRangeSpec,
+                             cfg: VerifyConfig) -> RangeVerdict:
+        from repro.exact.verify import _output_range_exact
+
+        run = _Run()
+        box, lp_solves, nodes = _output_range_exact(
+            spec.network, spec.input_box, config=cfg)
+        return RangeVerdict(
+            spec_type=spec.spec_type,
+            holds=None,
+            provenance=run.provenance(cfg, lp_solves=lp_solves, nodes=nodes),
+            detail=f"exact output range {box}",
+            output_range=box,
+        )
+
+    def _verify_threshold(self, spec: ThresholdSpec,
+                          cfg: VerifyConfig) -> ThresholdVerdict:
+        from repro.exact.bab import BAB_REFUTED
+        from repro.exact.incremental import _certify_threshold
+
+        run = _Run()
+        result, certificate = _certify_threshold(
+            spec.network, spec.input_box, spec.objective, spec.threshold,
+            config=cfg)
+        holds: Optional[bool] = None
+        if certificate is not None:
+            holds = True
+        elif result.status == BAB_REFUTED:
+            holds = False
+        return ThresholdVerdict(
+            spec_type=spec.spec_type,
+            holds=holds,
+            provenance=run.provenance(cfg, lp_solves=result.lp_solves,
+                                      nodes=result.nodes, rounds=result.rounds),
+            detail=f"status={result.status} upper_bound={result.upper_bound:.6g}",
+            result=result,
+            certificate=certificate,
+        )
+
+    def _verify_maximize(self, spec: MaximizeSpec,
+                         cfg: VerifyConfig) -> MaximizeVerdict:
+        from repro.exact.bab import (
+            BAB_OPTIMAL,
+            BAB_PROVED,
+            BAB_REFUTED,
+            _maximize_output,
+            _minimize_output,
+        )
+
+        run = _Run()
+        solve = _minimize_output if spec.minimize else _maximize_output
+        result = solve(spec.network, spec.input_box, spec.objective,
+                       threshold=spec.threshold, config=cfg)
+        holds: Optional[bool] = None
+        if spec.threshold is not None:
+            holds = {BAB_PROVED: True, BAB_REFUTED: False}.get(result.status)
+            if holds is None and result.status == BAB_OPTIMAL:
+                # Running to optimality settles the threshold question too
+                # (same tol rule as the certificate path).  For minimize,
+                # minimize_output already negated bound and threshold back,
+                # so the comparison flips.
+                if spec.minimize:
+                    holds = result.upper_bound >= spec.threshold - cfg.tol
+                else:
+                    holds = result.upper_bound <= spec.threshold + cfg.tol
+        return MaximizeVerdict(
+            spec_type=spec.spec_type,
+            holds=holds,
+            provenance=run.provenance(cfg, lp_solves=result.lp_solves,
+                                      nodes=result.nodes, rounds=result.rounds),
+            detail=f"status={result.status}",
+            result=result,
+        )
+
+    def _verify_proposition(self, spec: PropositionSpec,
+                            cfg: VerifyConfig) -> PropositionVerdict:
+        from repro.core import propositions as props
+
+        method = spec.method
+        if method is None:  # kind 3 is pure arithmetic: no method at all
+            method = _PROP_METHOD_DEFAULTS.get(spec.kind) or cfg.method
+        run = _Run()
+        if spec.kind == 1:
+            result = props._check_prop1(spec.artifacts, spec.enlarged_din,
+                                        method=method, config=cfg)
+        elif spec.kind == 2:
+            result = props._check_prop2(
+                spec.artifacts, spec.enlarged_din,
+                domain=spec.domain if spec.domain is not None else cfg.domain,
+                method=method, config=cfg)
+        elif spec.kind == 3:
+            result = props.check_prop3(spec.artifacts, spec.enlarged_din,
+                                       ord=spec.ord)
+        elif spec.kind == 4:
+            result = props._check_prop4(
+                spec.artifacts, spec.new_network,
+                enlarged_din=spec.enlarged_din, method=method,
+                stop_on_failure=spec.stop_on_failure,
+                prescreen=spec.prescreen, config=cfg)
+        elif spec.kind == 5:
+            result = props._check_prop5(
+                spec.artifacts, spec.new_network, spec.alphas,
+                enlarged_din=spec.enlarged_din, method=method,
+                prescreen=spec.prescreen, config=cfg)
+        else:
+            result = props.check_prop6(spec.artifacts, spec.new_network,
+                                       recheck_safety=spec.recheck_safety,
+                                       method=method)
+        return PropositionVerdict(
+            spec_type=spec.spec_type,
+            holds=result.holds,
+            provenance=run.provenance(
+                cfg,
+                lp_solves=sum(s.lp_solves for s in result.subproblems)),
+            detail=result.detail,
+            result=result,
+        )
+
+    def _verify_continuous(self, spec: ContinuousLoopSpec,
+                           cfg: VerifyConfig) -> ContinuousVerdict:
+        from repro.core.continuous import ContinuousVerifier
+        from repro.core.problem import SVbTV, SVuDC
+
+        run = _Run()
+        verifier = ContinuousVerifier(spec.artifacts, config=cfg)
+        if spec.new_network is None:
+            problem = SVuDC(spec.artifacts.problem, spec.enlarged_din)
+            if spec.strategies is not None:
+                result = verifier.verify_domain_change(
+                    problem, strategies=spec.strategies)
+            else:
+                result = verifier.verify_domain_change(problem)
+        else:
+            problem = SVbTV(spec.artifacts.problem, spec.new_network,
+                            spec.enlarged_din)
+            kwargs = {"prop5_alphas": spec.prop5_alphas,
+                      "with_fixing": spec.with_fixing}
+            if spec.strategies is not None:
+                kwargs["strategies"] = spec.strategies
+            result = verifier.verify_new_version(problem, **kwargs)
+        lp_solves = sum(s.lp_solves for attempt in result.attempts
+                        for s in attempt.subproblems)
+        return ContinuousVerdict(
+            spec_type=spec.spec_type,
+            holds=result.holds,
+            provenance=run.provenance(cfg, lp_solves=lp_solves),
+            detail=result.strategy,
+            result=result,
+        )
+
+    _HANDLERS = {
+        ContainmentSpec: _verify_containment,
+        OutputRangeSpec: _verify_output_range,
+        ThresholdSpec: _verify_threshold,
+        MaximizeSpec: _verify_maximize,
+        PropositionSpec: _verify_proposition,
+        ContinuousLoopSpec: _verify_continuous,
+    }
+
+
+# ------------------------------------------------------- module-level sugar
+def verify(spec: Spec, config: Optional[VerifyConfig] = None) -> Verdict:
+    """One-shot ``VerificationEngine(config).verify(spec)``."""
+    return VerificationEngine(config).verify(spec)
+
+
+def submit(specs: Sequence[Spec],
+           config: Optional[VerifyConfig] = None) -> List[Verdict]:
+    """One-shot ``VerificationEngine(config).submit(specs)``."""
+    return VerificationEngine(config).submit(specs)

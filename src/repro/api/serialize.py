@@ -1,0 +1,197 @@
+"""JSON-safe encodings of the object model the Specs reference.
+
+Spec files must survive ``json.dumps`` / ``json.loads`` byte-exactly --
+*and* be readable by non-Python peers (the ROADMAP plans remote executors
+speaking this wire form) -- so everything here maps to strict RFC-8259
+JSON:
+
+* arrays -> nested lists (Python's ``json`` emits ``repr``-style doubles,
+  which round-trip binary64 exactly); non-finite values, legal for box
+  bounds and recorded timings, are encoded as the strings ``"inf"`` /
+  ``"-inf"`` / ``"nan"`` instead of the non-standard ``Infinity``/``NaN``
+  tokens (``float()`` parses them back exactly);
+* networks -> ``{"input_dim", "layers": [{"class", "config", "arrays"}]}``
+  reusing each layer's own ``config()`` / ``arrays()`` contract (the same
+  one the ``.npz`` serializer trusts);
+* proof artifacts -> the :func:`repro.core.artifacts.save_artifacts`
+  layout transliterated to JSON, with the network abstraction stored as
+  its deterministic build recipe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.domains.box import Box
+from repro.nn.network import Network
+from repro.nn.serialize import _LAYER_CLASSES
+from repro.core.artifacts import (
+    LipschitzCertificate,
+    ProofArtifacts,
+    StateAbstractions,
+)
+from repro.core.problem import VerificationProblem
+
+__all__ = [
+    "float_to_jsonable",
+    "array_to_jsonable",
+    "array_from_jsonable",
+    "box_to_jsonable",
+    "box_from_jsonable",
+    "network_to_jsonable",
+    "network_from_jsonable",
+    "artifacts_to_jsonable",
+    "artifacts_from_jsonable",
+]
+
+
+# ------------------------------------------------------------------- floats
+def float_to_jsonable(value: float):
+    """A strict-JSON scalar: the float itself, or ``"inf"``/``"-inf"``/
+    ``"nan"`` for the values RFC 8259 cannot carry (``float()`` inverts)."""
+    value = float(value)
+    return value if math.isfinite(value) else str(value)
+
+
+def _encode_nested(values):
+    if isinstance(values, list):
+        return [_encode_nested(v) for v in values]
+    return float_to_jsonable(values)
+
+
+# ------------------------------------------------------------------- arrays
+def array_to_jsonable(arr: np.ndarray) -> list:
+    arr = np.asarray(arr, dtype=np.float64)
+    nested = arr.tolist()
+    if np.isfinite(arr).all():
+        return nested
+    return _encode_nested(nested)
+
+
+def array_from_jsonable(data) -> np.ndarray:
+    # np.float64 parses the "inf"/"-inf"/"nan" string encoding directly.
+    return np.asarray(data, dtype=np.float64)
+
+
+# -------------------------------------------------------------------- boxes
+def box_to_jsonable(box: Box) -> Dict:
+    return {"lower": array_to_jsonable(box.lower),
+            "upper": array_to_jsonable(box.upper)}
+
+
+def box_from_jsonable(data: Dict) -> Box:
+    return Box(array_from_jsonable(data["lower"]),
+               array_from_jsonable(data["upper"]))
+
+
+# ----------------------------------------------------------------- networks
+def network_to_jsonable(network: Network) -> Dict:
+    return {
+        "input_dim": int(network.input_dim),
+        "layers": [
+            {
+                "class": type(layer).__name__,
+                "config": layer.config(),
+                "arrays": {name: array_to_jsonable(arr)
+                           for name, arr in layer.arrays().items()},
+            }
+            for layer in network.layers
+        ],
+    }
+
+
+def network_from_jsonable(data: Dict) -> Network:
+    layers = []
+    for spec in data["layers"]:
+        cls_name = spec["class"]
+        if cls_name not in _LAYER_CLASSES:
+            raise SerializationError(f"unknown layer class {cls_name!r}")
+        arrays = {name: array_from_jsonable(arr)
+                  for name, arr in spec["arrays"].items()}
+        layers.append(_LAYER_CLASSES[cls_name]._from_parts(spec["config"], arrays))
+    return Network(layers, input_dim=int(data["input_dim"]))
+
+
+# ---------------------------------------------------------------- artifacts
+def artifacts_to_jsonable(artifacts: ProofArtifacts) -> Dict:
+    """JSON twin of :func:`repro.core.artifacts.save_artifacts`."""
+    data: Dict = {
+        "problem": {
+            "network": network_to_jsonable(artifacts.problem.network),
+            "din": box_to_jsonable(artifacts.problem.din),
+            "dout": box_to_jsonable(artifacts.problem.dout),
+        },
+        "states_prove_safety": bool(artifacts.states_prove_safety),
+        "original_time": float_to_jsonable(artifacts.original_time),
+        "notes": dict(artifacts.notes),
+        "states": None,
+        "lipschitz": None,
+        "netabs": None,
+        "output_range": None,
+    }
+    if artifacts.states is not None:
+        data["states"] = {
+            "domain": artifacts.states.domain,
+            "boxes": [box_to_jsonable(b) for b in artifacts.states.boxes],
+        }
+    if artifacts.lipschitz is not None:
+        data["lipschitz"] = {
+            # ell is validated finite, but ord=inf (the L∞ norm) is legal.
+            "ell": float_to_jsonable(artifacts.lipschitz.ell),
+            "ord": float_to_jsonable(artifacts.lipschitz.ord),
+            "method": artifacts.lipschitz.method,
+        }
+    if artifacts.network_abstraction is not None:
+        absn = artifacts.network_abstraction
+        data["netabs"] = {
+            "num_groups": int(absn.num_groups),
+            "margin": float(absn.margin),
+        }
+    if artifacts.output_range is not None:
+        data["output_range"] = box_to_jsonable(artifacts.output_range)
+    return data
+
+
+def artifacts_from_jsonable(data: Dict) -> ProofArtifacts:
+    network = network_from_jsonable(data["problem"]["network"])
+    problem = VerificationProblem(
+        network=network,
+        din=box_from_jsonable(data["problem"]["din"]),
+        dout=box_from_jsonable(data["problem"]["dout"]),
+    )
+    states = None
+    if data.get("states") is not None:
+        states = StateAbstractions(
+            boxes=[box_from_jsonable(b) for b in data["states"]["boxes"]],
+            domain=data["states"]["domain"],
+        )
+    lipschitz = None
+    if data.get("lipschitz") is not None:
+        lip = data["lipschitz"]
+        lipschitz = LipschitzCertificate(
+            ell=float(lip["ell"]), ord=float(lip["ord"]), method=lip["method"])
+    netabs = None
+    if data.get("netabs") is not None:
+        from repro.netabs.abstraction import build_abstraction
+
+        recipe = data["netabs"]
+        netabs = build_abstraction(network, problem.din,
+                                   num_groups=int(recipe["num_groups"]),
+                                   margin=float(recipe["margin"]))
+    output_range = None
+    if data.get("output_range") is not None:
+        output_range = box_from_jsonable(data["output_range"])
+    return ProofArtifacts(
+        problem=problem,
+        states=states,
+        lipschitz=lipschitz,
+        network_abstraction=netabs,
+        output_range=output_range,
+        states_prove_safety=bool(data["states_prove_safety"]),
+        original_time=float(data["original_time"]),
+        notes=dict(data.get("notes", {})),
+    )

@@ -1,0 +1,161 @@
+"""Uniform results: every engine run returns a Verdict with provenance.
+
+The legacy entry points each grew their own result shape
+(:class:`~repro.exact.verify.ContainmentResult`,
+:class:`~repro.exact.bab.BaBResult`,
+:class:`~repro.core.propositions.PropositionResult`, ...).  The engine
+keeps those objects -- they carry the byte-exact numbers the equivalence
+suite compares -- but wraps each in a :class:`Verdict` subclass sharing
+one surface:
+
+* ``holds``      -- the three-valued answer (``None`` for pure value
+  queries such as an output range, or when inconclusive);
+* ``provenance`` -- wall time, LP/node counts, frontier rounds, pool
+  width, and the encoding-cache reuse delta of this run;
+* ``result``     -- the underlying legacy result object, untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.domains.box import Box
+
+__all__ = [
+    "Provenance",
+    "Verdict",
+    "ContainmentVerdict",
+    "RangeVerdict",
+    "ThresholdVerdict",
+    "MaximizeVerdict",
+    "PropositionVerdict",
+    "ContinuousVerdict",
+    "BaselineVerdict",
+]
+
+
+@dataclass
+class Provenance:
+    """How a verdict was produced (the Table-I bookkeeping, unified).
+
+    ``encoding_reuse`` is the fingerprint-cache ``{"hits", "misses"}``
+    delta over this run; the counters are process-wide, so attribute the
+    delta to one run only when runs do not overlap in time (the same
+    caveat as :attr:`repro.core.continuous.ContinuousResult.encoding_reuse`).
+    """
+
+    elapsed: float = 0.0
+    lp_solves: int = 0
+    nodes: int = 0
+    rounds: int = 0
+    workers: int = 1
+    encoding_reuse: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Verdict:
+    """Base result of ``engine.verify(spec)``."""
+
+    spec_type: str
+    holds: Optional[bool]
+    provenance: Provenance
+    detail: str = ""
+
+    @property
+    def conclusive(self) -> bool:
+        return self.holds is not None
+
+
+@dataclass
+class ContainmentVerdict(Verdict):
+    """Verdict of a :class:`~repro.api.specs.ContainmentSpec`."""
+
+    #: The untouched legacy result (``holds``/``method``/``counterexample``
+    #: /``violation``/``lp_solves``/``nodes``).
+    result: "ContainmentResult" = None  # noqa: F821
+
+    @property
+    def counterexample(self) -> Optional[np.ndarray]:
+        return self.result.counterexample
+
+    @property
+    def violation(self) -> float:
+        return self.result.violation
+
+
+@dataclass
+class RangeVerdict(Verdict):
+    """Verdict of an :class:`~repro.api.specs.OutputRangeSpec`: a value
+    query, so ``holds`` is ``None`` and the payload is the exact box."""
+
+    output_range: Box = None
+
+
+@dataclass
+class ThresholdVerdict(Verdict):
+    """Verdict of a :class:`~repro.api.specs.ThresholdSpec`."""
+
+    result: "BaBResult" = None  # noqa: F821
+    #: The reusable branching certificate (``None`` unless proved).
+    certificate: Optional["BranchCertificate"] = None  # noqa: F821
+
+    @property
+    def certified(self) -> bool:
+        return self.certificate is not None
+
+
+@dataclass
+class MaximizeVerdict(Verdict):
+    """Verdict of a :class:`~repro.api.specs.MaximizeSpec`.  ``holds`` is
+    the threshold answer (``None`` for a pure optimisation)."""
+
+    result: "BaBResult" = None  # noqa: F821
+
+    @property
+    def status(self) -> str:
+        return self.result.status
+
+    @property
+    def optimum(self) -> float:
+        """Exact optimum -- raises off the optimal path (see
+        :meth:`repro.exact.bab.BaBResult.optimum`)."""
+        return self.result.optimum
+
+
+@dataclass
+class PropositionVerdict(Verdict):
+    """Verdict of a :class:`~repro.api.specs.PropositionSpec`.  Note the
+    proposition semantics: ``False`` means *this reuse condition fails*,
+    not that the property is refuted."""
+
+    result: "PropositionResult" = None  # noqa: F821
+
+    @property
+    def subproblems(self):
+        return self.result.subproblems
+
+
+@dataclass
+class ContinuousVerdict(Verdict):
+    """Verdict of a :class:`~repro.api.specs.ContinuousLoopSpec`."""
+
+    result: "ContinuousResult" = None  # noqa: F821
+
+    @property
+    def strategy(self) -> str:
+        return self.result.strategy
+
+
+@dataclass
+class BaselineVerdict(Verdict):
+    """Result of ``engine.baseline(problem)``: the from-scratch proof,
+    with the reusable artifacts the continuous loop feeds on."""
+
+    result: "BaselineOutcome" = None  # noqa: F821
+
+    @property
+    def artifacts(self) -> "ProofArtifacts":  # noqa: F821
+        return self.result.artifacts

@@ -2,16 +2,24 @@
 
 Small demonstrations runnable without writing any code:
 
-* ``fig2``     -- replay the paper's Fig. 2 / Equation 2 worked example;
-* ``prop3``    -- replay the Proposition 3 worked example;
-* ``vehicle``  -- a quick version of the Section V pipeline (train, verify,
-  drift, SVuDC, fine-tune, SVbTV) with a Table-I style summary;
-* ``verify``   -- verify a serialized network (``.npz``) on a box domain.
+* ``fig2``        -- replay the paper's Fig. 2 / Equation 2 worked example;
+* ``prop3``       -- replay the Proposition 3 worked example;
+* ``vehicle``     -- a quick version of the Section V pipeline (train,
+  verify, drift, SVuDC, fine-tune, SVbTV) with a Table-I style summary;
+* ``verify``      -- verify a serialized network (``.npz``) on a box domain;
+* ``verify-spec`` -- execute a declarative :mod:`repro.api` Spec from a
+  JSON file through the :class:`~repro.api.engine.VerificationEngine`.
+
+Every command that touches the exact layer builds one
+:class:`~repro.api.VerifyConfig` from the shared engine flags, so every
+engine knob (``--workers``, ``--frontier-width``, ``--node-tighten``, ...)
+is reachable from the command line and defaults stay in one place.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -20,12 +28,70 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
-def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=1,
+def _add_engine_args(parser: argparse.ArgumentParser,
+                     full: bool = False) -> None:
+    """The shared engine knobs (one :class:`VerifyConfig` per invocation).
+
+    ``full`` adds the solver-tuning flags beyond the pool width; defaults
+    are ``None`` so unset flags fall through to the config's single source
+    of defaults instead of being re-stated here.
+    """
+    engine = parser.add_argument_group("engine options")
+    engine.add_argument("--workers", type=int, default=None,
                         help="worker-pool width for the exact branch-and-"
                              "bound legs; >= 2 switches to the parallel "
                              "frontier search, whose verdicts do not "
                              "depend on the pool width")
+    if not full:
+        return
+    engine.add_argument("--tol", type=float, default=None,
+                        help="optimality/threshold tolerance")
+    engine.add_argument("--node-limit", type=int, default=None,
+                        help="branch-and-bound node budget for local checks")
+    engine.add_argument("--full-node-limit", type=int, default=None,
+                        help="node budget for global (from-scratch) solves")
+    engine.add_argument("--frontier-width", type=int, default=None,
+                        help="nodes expanded per frontier round; 0 resets "
+                             "a bundled value back to the solver's fixed "
+                             "constant (which keeps verdicts pool-width "
+                             "independent)")
+    engine.add_argument("--node-tighten",
+                        action=argparse.BooleanOptionalAction, default=None,
+                        help="feed batched phase-clamped bounds into each "
+                             "node LP (tighter relaxations; may change "
+                             "the search trajectory); --no-node-tighten "
+                             "overrides a bundled true")
+    engine.add_argument("--method", default=None,
+                        choices=("symbolic", "split", "exact", "auto"),
+                        help="containment method cascade")
+    engine.add_argument("--domain", default=None,
+                        help="abstract domain for layerwise rebuilds")
+    engine.add_argument("--lp-form", default=None,
+                        choices=("auto", "sparse", "dense"),
+                        help="node-LP composition form")
+
+
+def _config_from_args(args, base=None):
+    """Fold the engine flags over ``base`` (default: canonical defaults)."""
+    from repro.api import VerifyConfig
+
+    frontier_width = getattr(args, "frontier_width", None)
+    config = (base or VerifyConfig()).with_overrides(
+        workers=getattr(args, "workers", None),
+        tol=getattr(args, "tol", None),
+        node_limit=getattr(args, "node_limit", None),
+        full_node_limit=getattr(args, "full_node_limit", None),
+        frontier_width=frontier_width if frontier_width != 0 else None,
+        node_tighten=getattr(args, "node_tighten", None),
+        method=getattr(args, "method", None),
+        domain=getattr(args, "domain", None),
+        lp_form=getattr(args, "lp_form", None),
+    )
+    if frontier_width == 0:
+        # 0 is the explicit "back to the solver default" sentinel (None is
+        # "flag not given", which with_overrides must leave alone).
+        config = config.replace(frontier_width=None)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     vehicle.add_argument("--frame-size", type=int, default=24)
     vehicle.add_argument("--samples", type=int, default=200)
     vehicle.add_argument("--epochs", type=int, default=50)
-    _add_workers_arg(vehicle)
+    _add_engine_args(vehicle)
 
     verify = sub.add_parser("verify", help="verify a saved network on a box")
     verify.add_argument("network", help="path to a network .npz "
@@ -56,13 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "from the layered abstraction + 25%% slack)")
     verify.add_argument("--artifacts", default=None,
                         help="where to save the proof artifacts (.npz)")
-    _add_workers_arg(verify)
+    _add_engine_args(verify, full=True)
+
+    verify_spec = sub.add_parser(
+        "verify-spec",
+        help="run a declarative repro.api Spec from a JSON file")
+    verify_spec.add_argument(
+        "spec",
+        help='spec JSON: either a bare spec document (with a "type" tag, '
+             'see repro.api.spec_to_json) or {"spec": {...}, '
+             '"config": {...}} to bundle engine options')
+    verify_spec.add_argument("--json", action="store_true",
+                             help="emit the verdict as machine-readable "
+                                  "JSON instead of prose")
+    _add_engine_args(verify_spec, full=True)
     return parser
 
 
 def _cmd_fig2() -> int:
+    from repro.api import MaximizeSpec, VerificationEngine
     from repro.domains import Box, propagate_network
-    from repro.exact import maximize_output
     from repro.nn import fig2_network
 
     net = fig2_network()
@@ -72,15 +151,17 @@ def _cmd_fig2() -> int:
           propagate_network(net, original, "box")[-1])
     print("box n4 bound on [-1,1.1]^2:",
           propagate_network(net, enlarged, "box")[-1])
-    res = maximize_output(net, enlarged, np.array([1.0]))
+    res = VerificationEngine().verify(MaximizeSpec(
+        network=net, input_box=enlarged, objective=np.array([1.0]))).result
     print(f"exact max n4 = {res.upper_bound:.4g}  (paper: 6.2 < 12 "
           "=> Proposition 1 reuses the old proof)")
     return 0
 
 
 def _cmd_prop3() -> int:
+    from repro.api import PropositionSpec, VerificationEngine
     from repro.core import (LipschitzCertificate, ProofArtifacts,
-                            StateAbstractions, VerificationProblem, check_prop3)
+                            StateAbstractions, VerificationProblem)
     from repro.domains import Box
     from repro.nn import random_relu_network
 
@@ -94,7 +175,8 @@ def _cmd_prop3() -> int:
                                         Box(np.array([1.0]), np.array([8.0]))]),
         lipschitz=LipschitzCertificate(ell=100.0))
     enlarged = problem.din.inflate(0.01414)
-    res = check_prop3(artifacts, enlarged)
+    res = VerificationEngine().verify(PropositionSpec(
+        kind=3, artifacts=artifacts, enlarged_din=enlarged)).result
     print(f"Din=[1,2]^2, ell=100, Sn=[1,8], Dout=[-10,10]")
     print(f"enlarged by ~0.014 per side -> {res.detail}")
     print(f"Proposition 3 verdict: {res.holds}  (paper: holds, "
@@ -103,9 +185,9 @@ def _cmd_prop3() -> int:
 
 
 def _cmd_vehicle(args) -> int:
+    from repro.api import VerificationEngine
     from repro.core import (ContinuousVerifier, SVbTV, SVuDC, Table1Row,
-                            VerificationProblem, format_table1,
-                            verify_from_scratch)
+                            VerificationProblem, format_table1)
     from repro.domains.propagate import inductive_states
     from repro.monitor import BoxMonitor
     from repro.nn import TrainConfig, fine_tune, train
@@ -114,6 +196,8 @@ def _cmd_vehicle(args) -> int:
                                VehiclePlatform, feature_dataset,
                                generate_dataset)
 
+    config = _config_from_args(args)
+    engine = VerificationEngine(config)
     track = Track()
     camera = Camera(frame_size=args.frame_size)
     perception = Perception.build(
@@ -131,14 +215,13 @@ def _cmd_vehicle(args) -> int:
     dout = sn.inflate(0.25 * float(sn.widths.max()) + 0.05)
     problem = VerificationProblem(perception.head, din, dout)
     print("verifying from scratch ...")
-    baseline = verify_from_scratch(problem, state_buffer=0.05,
-                                   workers=args.workers)
+    baseline = engine.baseline(problem, state_buffer=0.05).result
     print(f"  safe={baseline.holds} in {baseline.elapsed:.2f}s")
 
     VehiclePlatform(track, camera, perception).drive(
         DriveConfig(steps=40, brightness=1.8, disturbance_std=0.8),
         monitor=monitor)
-    verifier = ContinuousVerifier(baseline.artifacts, workers=args.workers)
+    verifier = ContinuousVerifier(baseline.artifacts, config=config)
     svudc = verifier.verify_domain_change(
         SVuDC(problem, monitor.enlarged_box()))
     tuned = fine_tune(perception.head, x, y, learning_rate=1e-3, epochs=1)
@@ -153,8 +236,8 @@ def _cmd_vehicle(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from repro.core import (VerificationProblem, save_artifacts,
-                            verify_from_scratch)
+    from repro.api import VerificationEngine
+    from repro.core import VerificationProblem, save_artifacts
     from repro.domains import Box
     from repro.domains.propagate import inductive_states
     from repro.nn import load_network
@@ -171,14 +254,80 @@ def _cmd_verify(args) -> int:
         dout = sn.inflate(0.25 * float(sn.widths.max()) + 1e-6)
         print(f"auto Dout: {dout}")
     problem = VerificationProblem(network, din, dout)
-    outcome = verify_from_scratch(problem, state_buffer=0.03,
-                                  workers=args.workers)
+    # One VerifyConfig carries *every* engine knob (the historical kwargs
+    # path silently dropped --frontier-width / --node-tighten).
+    config = _config_from_args(args)
+    outcome = VerificationEngine(config).baseline(
+        problem, state_buffer=0.03).result
     verdict = {True: "SAFE", False: "UNSAFE", None: "UNKNOWN"}[outcome.holds]
     print(f"{verdict} in {outcome.elapsed:.3f}s  ({outcome.detail})")
     if args.artifacts:
         save_artifacts(outcome.artifacts, args.artifacts)
         print(f"artifacts saved to {args.artifacts}")
     return 0 if outcome.holds else 1
+
+
+def _cmd_verify_spec(args) -> int:
+    from repro.api import (MaximizeVerdict, RangeVerdict, VerificationEngine,
+                           VerifyConfig, spec_from_dict)
+
+    with open(args.spec) as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and "spec" in document:
+        spec_doc = document["spec"]
+        config = VerifyConfig.from_dict(document.get("config") or {})
+    else:
+        spec_doc = document
+        config = VerifyConfig()
+    # Command-line engine flags override whatever the file bundled
+    # (including --no-node-tighten / --frontier-width 0 resets).
+    config = _config_from_args(args, base=config)
+    spec = spec_from_dict(spec_doc)
+    verdict = VerificationEngine(config).verify(spec)
+    # A RangeVerdict, or a MaximizeVerdict with no threshold that ran to
+    # optimality, is a *value* query: holds is None by design and the
+    # computed value is the success.
+    value_query = isinstance(verdict, RangeVerdict) or (
+        isinstance(verdict, MaximizeVerdict) and verdict.holds is None
+        and verdict.result.status == "optimal")
+    if args.json:
+        record = {
+            "spec_type": verdict.spec_type,
+            "holds": verdict.holds,
+            "detail": verdict.detail,
+            "elapsed": verdict.provenance.elapsed,
+            "lp_solves": verdict.provenance.lp_solves,
+            "nodes": verdict.provenance.nodes,
+            "workers": verdict.provenance.workers,
+            "encoding_reuse": verdict.provenance.encoding_reuse,
+        }
+        if isinstance(verdict, RangeVerdict):
+            record["output_range"] = {
+                "lower": verdict.output_range.lower.tolist(),
+                "upper": verdict.output_range.upper.tolist(),
+            }
+        if isinstance(verdict, MaximizeVerdict):
+            from repro.api.serialize import float_to_jsonable
+
+            record["status"] = verdict.result.status
+            record["upper_bound"] = float_to_jsonable(verdict.result.upper_bound)
+            record["incumbent"] = float_to_jsonable(verdict.result.incumbent)
+            if value_query:
+                record["optimum"] = verdict.optimum
+        print(json.dumps(record, allow_nan=False))
+    else:
+        answer = ("COMPUTED" if value_query else
+                  {True: "HOLDS", False: "FAILS", None: "INCONCLUSIVE"}[
+                      verdict.holds])
+        print(f"{verdict.spec_type}: {answer} in "
+              f"{verdict.provenance.elapsed:.3f}s  ({verdict.detail})")
+        if isinstance(verdict, RangeVerdict):
+            print(f"output range: {verdict.output_range}")
+        if isinstance(verdict, MaximizeVerdict) and value_query:
+            print(f"optimum: {verdict.optimum:.9g}")
+    if value_query:
+        return 0
+    return {True: 0, False: 1, None: 2}[verdict.holds]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -192,6 +341,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_vehicle(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "verify-spec":
+        return _cmd_verify_spec(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

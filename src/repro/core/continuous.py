@@ -22,9 +22,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ArtifactError
+from repro.api.config import VerifyConfig
 from repro.domains.box import Box
 from repro.exact.encoding import encoding_cache_stats
-from repro.exact.verify import check_containment
+from repro.exact.verify import _check_containment
 from repro.nn.network import Network
 from repro.core.artifacts import ProofArtifacts
 from repro.core.fixing import FixingResult, incremental_fix
@@ -32,11 +33,11 @@ from repro.core.problem import SVbTV, SVuDC
 from repro.core.propositions import (
     PropositionResult,
     SubproblemReport,
-    check_prop1,
-    check_prop2,
+    _check_prop1,
+    _check_prop2,
+    _check_prop4,
+    _check_prop5,
     check_prop3,
-    check_prop4,
-    check_prop5,
     check_prop6,
 )
 
@@ -80,16 +81,56 @@ class ContinuousVerifier:
     """Reuses ``artifacts`` to settle modified verification problems."""
 
     def __init__(self, artifacts: ProofArtifacts,
-                 method: str = "auto", domain: str = "symbolic",
-                 node_limit: int = 2000, workers: int = 1):
+                 method: Optional[str] = None, domain: Optional[str] = None,
+                 node_limit: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 config: Optional[VerifyConfig] = None):
         self.artifacts = artifacts
-        self.method = method
-        self.domain = domain
-        self.node_limit = node_limit
-        #: Worker-pool width handed to every exact branch-and-bound leg
-        #: (the parallel frontier search of :mod:`repro.exact.parallel_bab`);
-        #: verdicts are worker-count independent by construction.
-        self.workers = workers
+        #: One :class:`VerifyConfig` drives every exact leg of the cascade
+        #: (the engine path).  The loose keywords remain as per-knob
+        #: overrides for compatibility; their defaults live in the config.
+        self.config = (config or VerifyConfig()).with_overrides(
+            method=method, domain=domain, node_limit=node_limit,
+            workers=workers)
+
+    # The historical loose attributes stay *live*: reads come from the
+    # config and assignment folds back into it, so pre-existing callers
+    # that mutate e.g. ``verifier.node_limit`` keep affecting every
+    # subsequent exact leg instead of silently updating a dead mirror.
+    @property
+    def method(self) -> str:
+        return self.config.method
+
+    @method.setter
+    def method(self, value: str) -> None:
+        self.config = self.config.replace(method=value)
+
+    @property
+    def domain(self) -> str:
+        return self.config.domain
+
+    @domain.setter
+    def domain(self, value: str) -> None:
+        self.config = self.config.replace(domain=value)
+
+    @property
+    def node_limit(self) -> int:
+        return self.config.node_limit
+
+    @node_limit.setter
+    def node_limit(self, value: int) -> None:
+        self.config = self.config.replace(node_limit=value)
+
+    @property
+    def workers(self) -> int:
+        """Worker-pool width handed to every exact branch-and-bound leg
+        (the parallel frontier search of :mod:`repro.exact.parallel_bab`);
+        verdicts are worker-count independent by construction."""
+        return self.config.workers
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        self.config = self.config.replace(workers=value)
 
     # ------------------------------------------------------------------ SVuDC
     def verify_domain_change(self, problem: SVuDC,
@@ -116,13 +157,11 @@ class ContinuousVerifier:
 
     def _run_svudc_strategy(self, strategy: str, enlarged: Box) -> PropositionResult:
         if strategy == "prop1":
-            return check_prop1(self.artifacts, enlarged, method=self.method,
-                               node_limit=self.node_limit,
-                               workers=self.workers)
+            return _check_prop1(self.artifacts, enlarged, method=self.method,
+                                config=self.config)
         if strategy == "prop2":
-            return check_prop2(self.artifacts, enlarged, domain=self.domain,
-                               method=self.method, node_limit=self.node_limit,
-                               workers=self.workers)
+            return _check_prop2(self.artifacts, enlarged, domain=self.domain,
+                                method=self.method, config=self.config)
         if strategy == "prop3":
             return check_prop3(self.artifacts, enlarged)
         raise ArtifactError(f"unknown SVuDC strategy {strategy!r}")
@@ -163,20 +202,18 @@ class ContinuousVerifier:
                     continue
                 result = self._prop6_composite(new_network, enlarged)
             elif strategy == "prop4":
-                result = check_prop4(self.artifacts, new_network,
-                                     enlarged_din=enlarged, method=self.method,
-                                     node_limit=self.node_limit,
-                                     workers=self.workers)
+                result = _check_prop4(self.artifacts, new_network,
+                                      enlarged_din=enlarged,
+                                      method=self.method, config=self.config)
                 prop4_result = result
             elif strategy == "prop5":
                 alphas = list(prop5_alphas) if prop5_alphas is not None else \
                     self._default_alphas(new_network)
                 if not alphas:
                     continue
-                result = check_prop5(self.artifacts, new_network, alphas,
-                                     enlarged_din=enlarged, method=self.method,
-                                     node_limit=self.node_limit,
-                                     workers=self.workers)
+                result = _check_prop5(self.artifacts, new_network, alphas,
+                                      enlarged_din=enlarged,
+                                      method=self.method, config=self.config)
             else:
                 raise ArtifactError(f"unknown SVbTV strategy {strategy!r}")
             attempts.append(result)
@@ -187,8 +224,7 @@ class ContinuousVerifier:
         if with_fixing and prop4_result is not None:
             fix = incremental_fix(self.artifacts, new_network, prop4_result,
                                   enlarged_din=enlarged, domain=self.domain,
-                                  method=self.method, node_limit=self.node_limit,
-                                  workers=self.workers)
+                                  method=self.method, config=self.config)
             if fix.holds is not None:
                 elapsed = time.perf_counter() - started
                 return ContinuousResult(
@@ -222,16 +258,14 @@ class ContinuousVerifier:
                 lipschitz=self.artifacts.lipschitz,
                 states_prove_safety=self.artifacts.states_prove_safety,
             )
-            head_check = check_prop1(new_artifacts, enlarged, method=self.method,
-                                     node_limit=self.node_limit,
-                                     workers=self.workers)
+            head_check = _check_prop1(new_artifacts, enlarged,
+                                      method=self.method, config=self.config)
             # Soundness: prop1 on f' needs every S_i->S_{i+1} step of f' for
             # i >= 2, which prop6 alone does not give; require prop4's tail
             # checks for blocks 1..n.
-            tail_checks = check_prop4(self.artifacts, new_network,
-                                      enlarged_din=None, method=self.method,
-                                      node_limit=self.node_limit,
-                                      workers=self.workers)
+            tail_checks = _check_prop4(self.artifacts, new_network,
+                                       enlarged_din=None, method=self.method,
+                                       config=self.config)
             combined_holds = bool(head_check.holds and tail_checks.holds)
             subproblems = (result.subproblems + head_check.subproblems
                            + tail_checks.subproblems)
@@ -271,10 +305,10 @@ class ContinuousVerifier:
 
     def _fallback_full(self, network: Network, din: Box, started: float,
                        attempts: List[PropositionResult]) -> ContinuousResult:
-        res = check_containment(network, din, self.artifacts.problem.dout,
-                                method="exact",
-                                node_limit=max(self.node_limit, 20000),
-                                workers=self.workers)
+        res = _check_containment(
+            network, din, self.artifacts.problem.dout, method="exact",
+            config=self.config.replace(
+                node_limit=self.config.effective_full_node_limit))
         report = SubproblemReport.from_containment("full re-verification", res)
         fallback = PropositionResult(
             proposition="full", holds=res.holds, subproblems=[report],

@@ -22,9 +22,16 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api.config import (
+    DEFAULT_DOMAIN,
+    DEFAULT_METHOD,
+    DEFAULT_NODE_LIMIT,
+    DEFAULT_WORKERS,
+    VerifyConfig,
+)
 from repro.domains.box import Box
 from repro.domains.propagate import get_propagator
-from repro.exact.verify import check_containment
+from repro.exact.verify import _check_containment
 from repro.nn.network import Network
 from repro.core.artifacts import ProofArtifacts
 from repro.core.propositions import PropositionResult, SubproblemReport
@@ -51,12 +58,11 @@ class FixingResult:
 
 
 def _full_reverification(new_network: Network, din: Box, dout: Box,
-                         method: str, node_limit: int,
+                         method: str, config: VerifyConfig,
                          subproblems: List[SubproblemReport],
-                         started: float, strategy: str,
-                         workers: int = 1) -> FixingResult:
-    res = check_containment(new_network, din, dout, method=method,
-                            node_limit=node_limit, workers=workers)
+                         started: float, strategy: str) -> FixingResult:
+    res = _check_containment(new_network, din, dout, method=method,
+                             config=config)
     subproblems.append(SubproblemReport.from_containment("full re-verification", res))
     return FixingResult(
         holds=res.holds,
@@ -69,16 +75,22 @@ def _full_reverification(new_network: Network, din: Box, dout: Box,
 def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
                     prop4_result: PropositionResult,
                     enlarged_din: Optional[Box] = None,
-                    domain: str = "symbolic",
-                    method: str = "auto",
-                    node_limit: int = 2000,
-                    workers: int = 1) -> FixingResult:
+                    domain: str = DEFAULT_DOMAIN,
+                    method: str = DEFAULT_METHOD,
+                    node_limit: int = DEFAULT_NODE_LIMIT,
+                    workers: int = DEFAULT_WORKERS,
+                    config: Optional[VerifyConfig] = None) -> FixingResult:
     """Attempt the Section IV.C repair after a failed Proposition 4.
 
     ``prop4_result`` must be the (non-early-stopped) result of
     :func:`~repro.core.propositions.check_prop4` on the same inputs, whose
     per-layer failure pattern decides which repair applies.
+
+    ``config`` (the engine path) supersedes the loose ``node_limit`` /
+    ``workers`` keywords, which remain for compatibility.
     """
+    if config is None:
+        config = VerifyConfig(node_limit=node_limit, workers=workers)
     started = time.perf_counter()
     states = artifacts.require_states()
     din = enlarged_din if enlarged_din is not None else artifacts.problem.din
@@ -95,24 +107,21 @@ def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
         # Several broken abstractions: the paper's single-layer repair does not
         # apply; fall back to the traditional method on the whole network.
         return _full_reverification(
-            new_network, din, dout, method, node_limit, subproblems, started,
-            strategy=f"{len(failing)} layers broken -> full re-verification",
-            workers=workers)
+            new_network, din, dout, method, config, subproblems, started,
+            strategy=f"{len(failing)} layers broken -> full re-verification")
     i = failing[0]
     if i == 0:
         # The very first abstraction broke: nothing upstream to reuse.
         return _full_reverification(
-            new_network, din, dout, method, node_limit, subproblems, started,
-            strategy="first abstraction broken -> full re-verification",
-            workers=workers)
+            new_network, din, dout, method, config, subproblems, started,
+            strategy="first abstraction broken -> full re-verification")
     if i == n - 1:
         # The final check S_{n-1} -> Dout broke; there is no later proof to
         # re-enter, so verify the remaining tail exactly (blocks i..n over
         # S_{n-1} failed already => re-verify from the last *intact* box).
         source = states.layer(i - 1)
-        res = check_containment(new_network.subnetwork(i, n), source, dout,
-                                method=method, node_limit=node_limit,
-                                workers=workers)
+        res = _check_containment(new_network.subnetwork(i, n), source, dout,
+                                 method=method, config=config)
         subproblems.append(SubproblemReport.from_containment(
             f"blocks[{i}:{n}] -> Dout (tail re-verification)", res))
         return FixingResult(
@@ -141,9 +150,8 @@ def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
 
     for k in range(i + 1, n - 1):
         layer = new_network.subnetwork(k, k + 1)
-        res = check_containment(layer, current, states.layer(k),
-                                method=method, node_limit=node_limit,
-                                workers=workers)
+        res = _check_containment(layer, current, states.layer(k),
+                                 method=method, config=config)
         subproblems.append(SubproblemReport.from_containment(
             f"S'_{k} -> S_{k + 1} (re-entry)", res))
         if res.holds:
@@ -160,9 +168,8 @@ def incremental_fix(artifacts: ProofArtifacts, new_network: Network,
         subproblems[-1].elapsed += time.perf_counter() - t0
 
     # No re-entry: verify the remaining tail from the propagated S'.
-    res = check_containment(new_network.subnetwork(n - 1, n), current, dout,
-                            method=method, node_limit=node_limit,
-                            workers=workers)
+    res = _check_containment(new_network.subnetwork(n - 1, n), current, dout,
+                             method=method, config=config)
     subproblems.append(SubproblemReport.from_containment(
         f"S'_{n - 1} -> Dout (tail)", res))
     return FixingResult(

@@ -22,12 +22,13 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api.config import VerifyConfig
 from repro.domains.box import Box
 from repro.nn.network import Network
 from repro.core.artifacts import ProofArtifacts
 from repro.core.continuous import ContinuousResult, ContinuousVerifier
 from repro.core.problem import SVbTV, SVuDC, VerificationProblem
-from repro.core.verifier import verify_from_scratch
+from repro.core.verifier import _verify_from_scratch
 
 __all__ = ["LoopStep", "EngineeringLoop"]
 
@@ -54,20 +55,41 @@ class EngineeringLoop:
     with_network_abstraction: bool = False
     netabs_groups: int = 4
     netabs_margin: float = 0.02
-    method: str = "auto"
-    node_limit: int = 20000
+    #: Per-knob overrides folded over ``config`` at run time; ``None``
+    #: keeps the config's value (so a caller-supplied ``config`` is never
+    #: silently clobbered by field defaults).
+    method: Optional[str] = None
+    node_limit: Optional[int] = None
+    #: Engine configuration for every exact leg.
+    config: Optional[VerifyConfig] = None
 
     artifacts: Optional[ProofArtifacts] = None
     history: List[LoopStep] = field(default_factory=list)
 
+    def _config(self) -> VerifyConfig:
+        base = self.config or VerifyConfig()
+        resolved = base.with_overrides(method=self.method,
+                                       node_limit=self.node_limit)
+        if self.node_limit is None and \
+                base.node_limit == VerifyConfig().node_limit:
+            # Historical loop behaviour: unless the caller chose a budget
+            # (via the field or a non-default config value), the
+            # proposition checks also run under the *full* node budget,
+            # not the local-check default.  A caller wanting the loop at a
+            # genuinely small budget sets node_limit (and full_node_limit)
+            # explicitly.
+            resolved = resolved.replace(
+                node_limit=resolved.effective_full_node_limit)
+        return resolved
+
     # ----------------------------------------------------------------- setup
     def initial_verification(self) -> LoopStep:
         """Verify the starting problem from scratch and store artifacts."""
-        outcome = verify_from_scratch(
+        outcome = _verify_from_scratch(
             self.problem, state_buffer=self.state_buffer, rigor=self.rigor,
             with_network_abstraction=self.with_network_abstraction,
             netabs_groups=self.netabs_groups, netabs_margin=self.netabs_margin,
-            node_limit=max(self.node_limit, 20000))
+            config=self._config())
         self.artifacts = outcome.artifacts
         step = LoopStep(kind="initial", holds=outcome.holds,
                         strategy="from scratch", elapsed=outcome.elapsed,
@@ -78,15 +100,14 @@ class EngineeringLoop:
     def _verifier(self) -> ContinuousVerifier:
         if self.artifacts is None:
             raise RuntimeError("call initial_verification() first")
-        return ContinuousVerifier(self.artifacts, method=self.method,
-                                  node_limit=self.node_limit)
+        return ContinuousVerifier(self.artifacts, config=self._config())
 
     def _refresh(self, problem: VerificationProblem) -> ProofArtifacts:
-        outcome = verify_from_scratch(
+        outcome = _verify_from_scratch(
             problem, state_buffer=self.state_buffer, rigor=self.rigor,
             with_network_abstraction=self.with_network_abstraction,
             netabs_groups=self.netabs_groups, netabs_margin=self.netabs_margin,
-            node_limit=max(self.node_limit, 20000))
+            config=self._config())
         if outcome.holds:
             self.artifacts = outcome.artifacts
         return outcome.artifacts

@@ -21,10 +21,18 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ArtifactError
+from repro.api.config import (
+    DEFAULT_DOMAIN,
+    DEFAULT_METHOD,
+    DEFAULT_NODE_LIMIT,
+    DEFAULT_WORKERS,
+    VerifyConfig,
+    warn_legacy,
+)
 from repro.domains.batch import screen_containments
 from repro.domains.box import Box, box_kappa
 from repro.domains.propagate import get_propagator
-from repro.exact.verify import ContainmentResult, check_containment
+from repro.exact.verify import ContainmentResult, _check_containment
 from repro.nn.network import Network
 from repro.core.artifacts import ProofArtifacts
 
@@ -136,16 +144,17 @@ def _batched_prescreen(triples, enabled: bool):
 
 
 # --------------------------------------------------------------------- SVuDC
-def check_prop1(artifacts: ProofArtifacts, enlarged_din: Box,
-                method: str = "auto", node_limit: int = 2000,
-                workers: int = 1) -> PropositionResult:
-    """Proposition 1 (proof reuse at layers 1 and 2).
+def _check_prop1(artifacts: ProofArtifacts, enlarged_din: Box,
+                 method: str = DEFAULT_METHOD,
+                 config: Optional[VerifyConfig] = None) -> PropositionResult:
+    """Proposition 1 (proof reuse at layers 1 and 2) -- engine path.
 
     Checks ``∀x ∈ Din ∪ Δin : g2(g1(x)) ∈ S2`` with an exact (or cascaded)
     method on the two-layer head only.  The two-layer depth is deliberate:
     abstract interpretation typically loses precision after two nonlinear
     layers, leaving room for exact local solving (paper footnote 1).
     """
+    config = config or VerifyConfig()
     started = time.perf_counter()
     premise_gap = _states_premise(artifacts)
     if premise_gap:
@@ -156,23 +165,24 @@ def check_prop1(artifacts: ProofArtifacts, enlarged_din: Box,
                       "network has fewer than 3 blocks; S2 does not cover a tail")
     head = network.subnetwork(0, 2)
     s2 = artifacts.states.layer(1)
-    res = check_containment(head, enlarged_din, s2, method=method,
-                            node_limit=node_limit, workers=workers)
+    res = _check_containment(head, enlarged_din, s2, method=method,
+                             config=config)
     report = SubproblemReport.from_containment("g2∘g1 ⊆ S2", res)
     return _timed("prop1", started, res.holds, [report],
                   f"two-layer head vs S2 ({res.method})")
 
 
-def check_prop2(artifacts: ProofArtifacts, enlarged_din: Box,
-                domain: str = "symbolic", method: str = "exact",
-                node_limit: int = 2000, workers: int = 1) -> PropositionResult:
-    """Proposition 2 (proof reuse at layer ``j+1``).
+def _check_prop2(artifacts: ProofArtifacts, enlarged_din: Box,
+                 domain: str = DEFAULT_DOMAIN, method: str = "exact",
+                 config: Optional[VerifyConfig] = None) -> PropositionResult:
+    """Proposition 2 (proof reuse at layer ``j+1``) -- engine path.
 
     Builds fresh abstractions ``S'_1 … S'_j`` over the enlarged domain
     layer by layer; after each one, checks exactly whether
     ``∀x_j ∈ S'_j : g_{j+1}(x_j) ∈ S_{j+1}``.  The first success re-enters
     the old proof and guarantees safety for the whole network.
     """
+    config = config or VerifyConfig()
     started = time.perf_counter()
     premise_gap = _states_premise(artifacts)
     if premise_gap:
@@ -188,9 +198,8 @@ def check_prop2(artifacts: ProofArtifacts, enlarged_din: Box,
         current = propagator.propagate(network.subnetwork(j - 1, j), current)[-1]
         build_time = time.perf_counter() - t0
         layer = network.subnetwork(j, j + 1)
-        res = check_containment(layer, current, artifacts.states.layer(j),
-                                method=method, node_limit=node_limit,
-                                workers=workers)
+        res = _check_containment(layer, current, artifacts.states.layer(j),
+                                 method=method, config=config)
         report = SubproblemReport(
             name=f"S'_{j} -> S_{j + 1}",
             holds=res.holds,
@@ -235,13 +244,13 @@ def check_prop3(artifacts: ProofArtifacts, enlarged_din: Box,
 
 
 # --------------------------------------------------------------------- SVbTV
-def check_prop4(artifacts: ProofArtifacts, new_network: Network,
-                enlarged_din: Optional[Box] = None,
-                method: str = "auto", node_limit: int = 2000,
-                stop_on_failure: bool = False,
-                prescreen: bool = True,
-                workers: int = 1) -> PropositionResult:
-    """Proposition 4 (reusing state abstraction, single layer).
+def _check_prop4(artifacts: ProofArtifacts, new_network: Network,
+                 enlarged_din: Optional[Box] = None,
+                 method: str = DEFAULT_METHOD,
+                 stop_on_failure: bool = False,
+                 prescreen: bool = True,
+                 config: Optional[VerifyConfig] = None) -> PropositionResult:
+    """Proposition 4 (reusing state abstraction, single layer) -- engine path.
 
     ``n`` independent one-layer checks on the *new* network:
 
@@ -261,6 +270,7 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
     metric and the incremental-fixing fallback, which needs the full
     failure pattern.
     """
+    config = config or VerifyConfig()
     started = time.perf_counter()
     premise_gap = _states_premise(artifacts)
     if premise_gap:
@@ -285,8 +295,8 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
                 name=name, holds=True, elapsed=screen_share,
                 detail="batched box pre-screen"))
             continue
-        res = check_containment(layer, source, target, method=method,
-                                node_limit=node_limit, workers=workers)
+        res = _check_containment(layer, source, target, method=method,
+                                 config=config)
         report = SubproblemReport.from_containment(name, res)
         report.elapsed += screen_share
         subproblems.append(report)
@@ -304,12 +314,13 @@ def check_prop4(artifacts: ProofArtifacts, new_network: Network,
                   "layer checks passed")
 
 
-def check_prop5(artifacts: ProofArtifacts, new_network: Network,
-                alphas: Sequence[int], enlarged_din: Optional[Box] = None,
-                method: str = "auto", node_limit: int = 2000,
-                prescreen: bool = True,
-                workers: int = 1) -> PropositionResult:
-    """Proposition 5 (reusing state abstraction, multiple layers).
+def _check_prop5(artifacts: ProofArtifacts, new_network: Network,
+                 alphas: Sequence[int], enlarged_din: Optional[Box] = None,
+                 method: str = DEFAULT_METHOD,
+                 prescreen: bool = True,
+                 config: Optional[VerifyConfig] = None) -> PropositionResult:
+    """Proposition 5 (reusing state abstraction, multiple layers) -- engine
+    path.
 
     ``alphas`` are the reused boundaries in paper numbering
     (``1 < α_1 < … < α_l < n-1``... given 1-based layers; here: block
@@ -319,6 +330,7 @@ def check_prop5(artifacts: ProofArtifacts, new_network: Network,
     Like :func:`check_prop4`, all segments are pre-screened in one batched
     interval pass before any exact per-segment check runs.
     """
+    config = config or VerifyConfig()
     started = time.perf_counter()
     premise_gap = _states_premise(artifacts)
     if premise_gap:
@@ -350,8 +362,8 @@ def check_prop5(artifacts: ProofArtifacts, new_network: Network,
                 name=name, holds=True, elapsed=screen_share,
                 detail="batched box pre-screen"))
             continue
-        res = check_containment(segment, source, target, method=method,
-                                node_limit=node_limit, workers=workers)
+        res = _check_containment(segment, source, target, method=method,
+                                 config=config)
         report = SubproblemReport.from_containment(name, res)
         report.elapsed += screen_share
         subproblems.append(report)
@@ -363,6 +375,74 @@ def check_prop5(artifacts: ProofArtifacts, new_network: Network,
                 holds = None
     return _timed("prop5", started, True if holds is True else holds, subproblems,
                   f"reuse points {alphas}")
+
+
+# ------------------------------------------------------------- legacy shims
+def check_prop1(artifacts: ProofArtifacts, enlarged_din: Box,
+                method: str = DEFAULT_METHOD,
+                node_limit: int = DEFAULT_NODE_LIMIT,
+                workers: int = DEFAULT_WORKERS) -> PropositionResult:
+    """Deprecated shim: use :class:`repro.api.PropositionSpec` (kind=1)."""
+    warn_legacy("check_prop1", "PropositionSpec(kind=1)")
+    return _engine_proposition(1, artifacts, enlarged_din=enlarged_din,
+                               method=method, node_limit=node_limit,
+                               workers=workers)
+
+
+def check_prop2(artifacts: ProofArtifacts, enlarged_din: Box,
+                domain: str = DEFAULT_DOMAIN, method: str = "exact",
+                node_limit: int = DEFAULT_NODE_LIMIT,
+                workers: int = DEFAULT_WORKERS) -> PropositionResult:
+    """Deprecated shim: use :class:`repro.api.PropositionSpec` (kind=2)."""
+    warn_legacy("check_prop2", "PropositionSpec(kind=2)")
+    return _engine_proposition(2, artifacts, enlarged_din=enlarged_din,
+                               method=method, domain=domain,
+                               node_limit=node_limit, workers=workers)
+
+
+def check_prop4(artifacts: ProofArtifacts, new_network: Network,
+                enlarged_din: Optional[Box] = None,
+                method: str = DEFAULT_METHOD,
+                node_limit: int = DEFAULT_NODE_LIMIT,
+                stop_on_failure: bool = False,
+                prescreen: bool = True,
+                workers: int = DEFAULT_WORKERS) -> PropositionResult:
+    """Deprecated shim: use :class:`repro.api.PropositionSpec` (kind=4)."""
+    warn_legacy("check_prop4", "PropositionSpec(kind=4)")
+    return _engine_proposition(4, artifacts, new_network=new_network,
+                               enlarged_din=enlarged_din, method=method,
+                               stop_on_failure=stop_on_failure,
+                               prescreen=prescreen, node_limit=node_limit,
+                               workers=workers)
+
+
+def check_prop5(artifacts: ProofArtifacts, new_network: Network,
+                alphas: Sequence[int], enlarged_din: Optional[Box] = None,
+                method: str = DEFAULT_METHOD,
+                node_limit: int = DEFAULT_NODE_LIMIT,
+                prescreen: bool = True,
+                workers: int = DEFAULT_WORKERS) -> PropositionResult:
+    """Deprecated shim: use :class:`repro.api.PropositionSpec` (kind=5)."""
+    warn_legacy("check_prop5", "PropositionSpec(kind=5)")
+    return _engine_proposition(5, artifacts, new_network=new_network,
+                               alphas=tuple(int(a) for a in alphas),
+                               enlarged_din=enlarged_din, method=method,
+                               prescreen=prescreen, node_limit=node_limit,
+                               workers=workers)
+
+
+def _engine_proposition(kind: int, artifacts: ProofArtifacts, *,
+                        node_limit: int, workers: int,
+                        domain: Optional[str] = None,
+                        **spec_fields) -> PropositionResult:
+    """Shared shim body: one PropositionSpec through a fresh engine."""
+    from repro.api.engine import VerificationEngine
+    from repro.api.specs import PropositionSpec
+
+    config = VerifyConfig(node_limit=node_limit, workers=workers)
+    spec = PropositionSpec(kind=kind, artifacts=artifacts, domain=domain,
+                           **spec_fields)
+    return VerificationEngine(config).verify(spec).result
 
 
 def check_prop6(artifacts: ProofArtifacts, new_network: Network,

@@ -24,9 +24,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ArtifactError
+from repro.api.config import (
+    DEFAULT_FULL_NODE_LIMIT,
+    DEFAULT_WORKERS,
+    VerifyConfig,
+    warn_legacy,
+)
 from repro.domains.box import Box
 from repro.domains.propagate import inductive_states, propagate_network
-from repro.exact.verify import check_containment, output_range_exact
+from repro.exact.verify import _check_containment, _output_range_exact
 from repro.lipschitz.bounds import global_lipschitz_bound
 from repro.core.artifacts import (
     LipschitzCertificate,
@@ -48,19 +54,24 @@ class BaselineOutcome:
     artifacts: ProofArtifacts
     elapsed: float
     detail: str = ""
+    #: Exact-layer effort of the run (0 when rigor="abstract" closed the
+    #: proof without any solver work) -- feeds Verdict provenance.
+    lp_solves: int = 0
+    nodes: int = 0
 
 
-def verify_from_scratch(problem: VerificationProblem,
-                        domain: str = "inductive",
-                        state_buffer: float = 0.02,
-                        rigor: str = "range",
-                        lipschitz_ord: float = 2,
-                        with_network_abstraction: bool = False,
-                        netabs_groups: int = 2,
-                        netabs_margin: float = 0.0,
-                        node_limit: int = 20000,
-                        workers: int = 1) -> BaselineOutcome:
-    """Verify ``problem`` from scratch and assemble :class:`ProofArtifacts`.
+def _verify_from_scratch(problem: VerificationProblem,
+                         domain: str = "inductive",
+                         state_buffer: float = 0.02,
+                         rigor: str = "range",
+                         lipschitz_ord: float = 2,
+                         with_network_abstraction: bool = False,
+                         netabs_groups: int = 2,
+                         netabs_margin: float = 0.0,
+                         config: Optional[VerifyConfig] = None) -> BaselineOutcome:
+    """Verify ``problem`` from scratch and assemble :class:`ProofArtifacts`
+    (internal engine path; the exact legs run under the config's *full*
+    node budget -- this is a global proof, not a local reuse check).
 
     ``domain="inductive"`` (default) generates state abstractions with the
     inductive box chain plus a relative ``state_buffer`` -- the only form
@@ -72,6 +83,8 @@ def verify_from_scratch(problem: VerificationProblem,
     """
     if rigor not in RIGOR_LEVELS:
         raise ArtifactError(f"rigor must be one of {RIGOR_LEVELS}, got {rigor!r}")
+    config = config or VerifyConfig()
+    exact_config = config.replace(node_limit=config.effective_full_node_limit)
     network, din, dout = problem.network, problem.din, problem.dout
     started = time.perf_counter()
 
@@ -87,11 +100,15 @@ def verify_from_scratch(problem: VerificationProblem,
     detail = "layered abstraction closed" if layered_proof else ""
 
     # 2. Exact work according to the rigor level.
+    lp_solves = 0
+    nodes = 0
     if rigor in ("threshold", "range") and holds is None:
-        res = check_containment(network, din, dout, method="exact",
-                                node_limit=node_limit, workers=workers)
+        res = _check_containment(network, din, dout, method="exact",
+                                 config=exact_config)
         holds = res.holds
         detail = f"exact containment: {res.detail or res.holds}"
+        lp_solves += res.lp_solves
+        nodes += res.nodes
     output_range: Optional[Box] = None
     if rigor == "range" and holds is not False:
         # The tight certified output range is stored as a *separate*
@@ -99,8 +116,10 @@ def verify_from_scratch(problem: VerificationProblem,
         # makes Proposition 3 much stronger, but it must not replace S_n
         # inside the layered proof -- that would break the inductive chain
         # property Propositions 1/2 re-enter.
-        output_range = output_range_exact(network, din, node_limit=node_limit,
-                                          workers=workers)
+        output_range, range_lps, range_nodes = _output_range_exact(
+            network, din, config=exact_config)
+        lp_solves += range_lps
+        nodes += range_nodes
         if not dout.contains_box(output_range):
             holds = False
             detail = f"exact range {output_range} escapes Dout"
@@ -137,4 +156,32 @@ def verify_from_scratch(problem: VerificationProblem,
         notes=notes,
     )
     return BaselineOutcome(holds=holds, artifacts=artifacts, elapsed=elapsed,
-                           detail=detail)
+                           detail=detail, lp_solves=lp_solves, nodes=nodes)
+
+
+def verify_from_scratch(problem: VerificationProblem,
+                        domain: str = "inductive",
+                        state_buffer: float = 0.02,
+                        rigor: str = "range",
+                        lipschitz_ord: float = 2,
+                        with_network_abstraction: bool = False,
+                        netabs_groups: int = 2,
+                        netabs_margin: float = 0.0,
+                        node_limit: int = DEFAULT_FULL_NODE_LIMIT,
+                        workers: int = DEFAULT_WORKERS) -> BaselineOutcome:
+    """Deprecated shim: verify from scratch and assemble proof artifacts.
+
+    Use ``VerificationEngine.baseline(problem, ...)`` (:mod:`repro.api`)
+    instead; its :class:`~repro.api.verdict.BaselineVerdict` carries this
+    outcome plus provenance.
+    """
+    warn_legacy("verify_from_scratch", "VerificationEngine.baseline")
+    from repro.api.engine import VerificationEngine
+
+    config = VerifyConfig(node_limit=node_limit, full_node_limit=node_limit,
+                          workers=workers)
+    return VerificationEngine(config).baseline(
+        problem, domain=domain, state_buffer=state_buffer, rigor=rigor,
+        lipschitz_ord=lipschitz_ord,
+        with_network_abstraction=with_network_abstraction,
+        netabs_groups=netabs_groups, netabs_margin=netabs_margin).result

@@ -24,6 +24,14 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SolverError
+from repro.api.config import (
+    DEFAULT_LP_FORM,
+    DEFAULT_NODE_LIMIT,
+    DEFAULT_TOL,
+    DEFAULT_WORKERS,
+    VerifyConfig,
+    warn_legacy,
+)
 from repro.domains.box import Box
 from repro.domains.batch import phase_clamped_node_bounds
 from repro.exact.encoding import NetworkEncoding, PhaseMap
@@ -89,11 +97,12 @@ class BaBSolver:
 
     def __init__(self, network: Network, input_box: Box,
                  encoding: Optional[NetworkEncoding] = None,
-                 tol: float = 1e-6, node_limit: int = 2000,
+                 tol: float = DEFAULT_TOL,
+                 node_limit: int = DEFAULT_NODE_LIMIT,
                  interval_prune: bool = True,
-                 lp_form: str = "auto",
+                 lp_form: str = DEFAULT_LP_FORM,
                  node_tighten: bool = False,
-                 workers: int = 1,
+                 workers: int = DEFAULT_WORKERS,
                  frontier_width: Optional[int] = None,
                  frontier: Optional[bool] = None):
         self.network = network
@@ -134,6 +143,19 @@ class BaBSolver:
         #: worker counts; raise it explicitly for very wide pools.
         self.frontier_width = frontier_width
         self.frontier = self.workers > 1 if frontier is None else bool(frontier)
+
+    @classmethod
+    def from_config(cls, network: Network, input_box: Box,
+                    config: VerifyConfig,
+                    encoding: Optional[NetworkEncoding] = None) -> "BaBSolver":
+        """A solver configured from one :class:`VerifyConfig` -- the bridge
+        the :mod:`repro.api` engine (and every internal caller) uses instead
+        of hand-threading kwargs.  ``encoding=None`` honours the config's
+        encoding-cache policy."""
+        if encoding is None:
+            encoding = config.encoding_for(network, input_box)
+        return cls(network, input_box, encoding=encoding,
+                   **config.bab_kwargs())
 
     # ------------------------------------------------------------------ main
     def maximize(self, c: np.ndarray,
@@ -450,27 +472,65 @@ class BaBSolver:
         )
 
 
+def _maximize_output(network: Network, input_box: Box, c: np.ndarray,
+                     threshold: Optional[float] = None,
+                     config: Optional[VerifyConfig] = None) -> BaBResult:
+    """Internal one-shot maximisation (no deprecation): the engine path."""
+    solver = BaBSolver.from_config(network, input_box,
+                                   config or VerifyConfig())
+    return solver.maximize(c, threshold=threshold)
+
+
+def _minimize_output(network: Network, input_box: Box, c: np.ndarray,
+                     threshold: Optional[float] = None,
+                     config: Optional[VerifyConfig] = None) -> BaBResult:
+    """Internal one-shot minimisation (no deprecation): the engine path."""
+    solver = BaBSolver.from_config(network, input_box,
+                                   config or VerifyConfig())
+    return solver.minimize(c, threshold=threshold)
+
+
 def maximize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
-                    node_limit: int = 2000, tol: float = 1e-6,
+                    node_limit: int = DEFAULT_NODE_LIMIT,
+                    tol: float = DEFAULT_TOL,
                     interval_prune: bool = True,
-                    lp_form: str = "auto",
-                    workers: int = 1) -> BaBResult:
-    """One-shot ``max c @ f(x)`` over ``input_box`` (see :class:`BaBSolver`)."""
-    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
-                       interval_prune=interval_prune, lp_form=lp_form,
-                       workers=workers)
-    return solver.maximize(c, threshold=threshold)
+                    lp_form: str = DEFAULT_LP_FORM,
+                    workers: int = DEFAULT_WORKERS) -> BaBResult:
+    """Deprecated shim: one-shot ``max c @ f(x)`` over ``input_box``.
+
+    Use :class:`repro.api.MaximizeSpec` through the engine instead.
+    """
+    warn_legacy("maximize_output", "MaximizeSpec")
+    from repro.api.engine import VerificationEngine
+    from repro.api.specs import MaximizeSpec
+
+    config = VerifyConfig(node_limit=node_limit, tol=tol,
+                          interval_prune=interval_prune, lp_form=lp_form,
+                          workers=workers)
+    return VerificationEngine(config).verify(
+        MaximizeSpec(network=network, input_box=input_box, objective=c,
+                     threshold=threshold)).result
 
 
 def minimize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
-                    node_limit: int = 2000, tol: float = 1e-6,
+                    node_limit: int = DEFAULT_NODE_LIMIT,
+                    tol: float = DEFAULT_TOL,
                     interval_prune: bool = True,
-                    lp_form: str = "auto",
-                    workers: int = 1) -> BaBResult:
-    """One-shot ``min c @ f(x)`` over ``input_box``."""
-    solver = BaBSolver(network, input_box, tol=tol, node_limit=node_limit,
-                       interval_prune=interval_prune, lp_form=lp_form,
-                       workers=workers)
-    return solver.minimize(c, threshold=threshold)
+                    lp_form: str = DEFAULT_LP_FORM,
+                    workers: int = DEFAULT_WORKERS) -> BaBResult:
+    """Deprecated shim: one-shot ``min c @ f(x)`` over ``input_box``.
+
+    Use :class:`repro.api.MaximizeSpec` (``minimize=True``) instead.
+    """
+    warn_legacy("minimize_output", "MaximizeSpec(minimize=True)")
+    from repro.api.engine import VerificationEngine
+    from repro.api.specs import MaximizeSpec
+
+    config = VerifyConfig(node_limit=node_limit, tol=tol,
+                          interval_prune=interval_prune, lp_form=lp_form,
+                          workers=workers)
+    return VerificationEngine(config).verify(
+        MaximizeSpec(network=network, input_box=input_box, objective=c,
+                     threshold=threshold, minimize=True)).result

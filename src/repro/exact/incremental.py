@@ -34,6 +34,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ArtifactError
+from repro.api.config import (
+    DEFAULT_FULL_NODE_LIMIT,
+    DEFAULT_TOL,
+    DEFAULT_WORKERS,
+    VerifyConfig,
+    warn_legacy,
+)
 from repro.domains.box import Box
 from repro.exact.bab import BaBResult, BaBSolver
 from repro.exact.encoding import NetworkEncoding, PhaseMap
@@ -63,29 +70,31 @@ class BranchCertificate:
         return network.block_dims() == self.block_dims
 
 
-def certify_threshold(network: Network, input_box: Box, c: np.ndarray,
-                      threshold: float,
-                      node_limit: int = 20000,
-                      tol: float = 1e-6,
-                      encoding: Optional[NetworkEncoding] = None,
-                      workers: int = 1) -> tuple:
-    """Prove ``max c @ f(x) <= threshold`` and keep the branching certificate.
+def _certify_threshold(network: Network, input_box: Box, c: np.ndarray,
+                       threshold: float,
+                       encoding: Optional[NetworkEncoding] = None,
+                       config: Optional[VerifyConfig] = None) -> tuple:
+    """Internal threshold certification (no deprecation): the engine path.
 
     Returns ``(BaBResult, BranchCertificate | None)`` -- the certificate is
     ``None`` unless the proof succeeded.  ``encoding`` lets a caller supply
-    a pre-built :class:`NetworkEncoding`; by default one is drawn from the
-    fingerprint-keyed cache, so certifying several thresholds or objectives
-    over one ``(network, box)`` pair builds the LP base exactly once.
-    ``workers > 1`` runs the parallel frontier search; its settled leaves
-    form exactly the same kind of covering certificate.
+    a pre-built :class:`NetworkEncoding`; by default one is drawn per the
+    config's encoding-cache policy, so certifying several thresholds or
+    objectives over one ``(network, box)`` pair builds the LP base exactly
+    once.  ``config.workers > 1`` runs the parallel frontier search; its
+    settled leaves form exactly the same kind of covering certificate.
     """
-    solver = BaBSolver(network, input_box, encoding=encoding,
-                       node_limit=node_limit, tol=tol, workers=workers)
+    config = config or VerifyConfig()
+    # Certificates are global proofs: run under the full budget.
+    solver = BaBSolver.from_config(
+        network, input_box,
+        config.replace(node_limit=config.effective_full_node_limit),
+        encoding=encoding)
     leaves: List[PhaseMap] = []
     result = solver.maximize(np.asarray(c, dtype=np.float64),
                              threshold=threshold, collect_leaves=leaves)
     if result.status not in ("threshold_proved", "optimal") or \
-            result.upper_bound > threshold + tol:
+            result.upper_bound > threshold + config.tol:
         return result, None
     certificate = BranchCertificate(
         objective=np.asarray(c, dtype=np.float64).copy(),
@@ -96,13 +105,42 @@ def certify_threshold(network: Network, input_box: Box, c: np.ndarray,
     return result, certificate
 
 
+def certify_threshold(network: Network, input_box: Box, c: np.ndarray,
+                      threshold: float,
+                      node_limit: int = DEFAULT_FULL_NODE_LIMIT,
+                      tol: float = DEFAULT_TOL,
+                      encoding: Optional[NetworkEncoding] = None,
+                      workers: int = DEFAULT_WORKERS) -> tuple:
+    """Deprecated shim: prove ``max c @ f(x) <= threshold`` with certificate.
+
+    Use :class:`repro.api.ThresholdSpec` through the engine instead (the
+    verdict carries the :class:`BranchCertificate`).
+    """
+    warn_legacy("certify_threshold", "ThresholdSpec")
+    config = VerifyConfig(node_limit=node_limit, full_node_limit=node_limit,
+                          tol=tol, workers=workers)
+    if encoding is not None:
+        # A caller-supplied encoding cannot ride through the declarative
+        # spec; honour it on the internal path with the same config.
+        return _certify_threshold(network, input_box, c, threshold,
+                                  encoding=encoding, config=config)
+    from repro.api.engine import VerificationEngine
+    from repro.api.specs import ThresholdSpec
+
+    verdict = VerificationEngine(config).verify(
+        ThresholdSpec(network=network, input_box=input_box, objective=c,
+                      threshold=threshold))
+    return verdict.result, verdict.certificate
+
+
 def prove_with_certificate(network: Network, input_box: Box,
                            certificate: BranchCertificate,
                            threshold: Optional[float] = None,
-                           node_limit: int = 20000,
-                           tol: float = 1e-6,
+                           node_limit: int = DEFAULT_FULL_NODE_LIMIT,
+                           tol: float = DEFAULT_TOL,
                            encoding: Optional[NetworkEncoding] = None,
-                           workers: int = 1) -> BaBResult:
+                           workers: int = DEFAULT_WORKERS,
+                           config: Optional[VerifyConfig] = None) -> BaBResult:
     """Re-prove the threshold on a *modified* problem, warm-started from the
     certificate's leaves.
 
@@ -122,8 +160,14 @@ def prove_with_certificate(network: Network, input_box: Box,
         raise ArtifactError(
             "branch certificate was built for a different architecture")
     threshold = certificate.threshold if threshold is None else float(threshold)
-    solver = BaBSolver(network, input_box, encoding=encoding,
-                       node_limit=node_limit, tol=tol, workers=workers)
+    if config is None:
+        config = VerifyConfig(node_limit=node_limit,
+                              full_node_limit=node_limit,
+                              tol=tol, workers=workers)
+    solver = BaBSolver.from_config(
+        network, input_box,
+        config.replace(node_limit=config.effective_full_node_limit),
+        encoding=encoding)
     # With workers > 1 the leaf re-solve is the frontier warm start: every
     # certificate leaf is screened in one batched pass and the surviving
     # leaf LPs are solved concurrently against the (possibly new) encoding.

@@ -23,6 +23,15 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import DomainError
+from repro.api.config import (
+    DEFAULT_MAX_BOXES,
+    DEFAULT_METHOD,
+    DEFAULT_NODE_LIMIT,
+    DEFAULT_TOL,
+    DEFAULT_WORKERS,
+    VerifyConfig,
+    warn_legacy,
+)
 from repro.domains.box import Box
 from repro.domains.propagate import output_box
 from repro.exact.bab import (
@@ -92,10 +101,8 @@ def _check_split(network: Network, box: Box, target: Box,
 
 
 def _check_exact(network: Network, box: Box, target: Box,
-                 node_limit: int, tol: float,
-                 workers: int = 1) -> ContainmentResult:
-    solver = BaBSolver(network, box, node_limit=node_limit, tol=tol,
-                       workers=workers)
+                 config: VerifyConfig) -> ContainmentResult:
+    solver = BaBSolver.from_config(network, box, config)
     lp_total = 0
     node_total = 0
     d = network.output_dim
@@ -141,18 +148,16 @@ def _check_exact(network: Network, box: Box, target: Box,
                              lp_solves=lp_total, nodes=node_total)
 
 
-def check_containment(network: Network, input_box: Box, target: Box,
-                      method: str = "auto",
-                      node_limit: int = 2000,
-                      max_boxes: int = 2000,
-                      tol: float = 1e-6,
-                      workers: int = 1) -> ContainmentResult:
-    """Decide ``∀x ∈ input_box : f(x) ∈ target`` (see module docstring).
+def _check_containment(network: Network, input_box: Box, target: Box,
+                       method: str = DEFAULT_METHOD,
+                       config: Optional[VerifyConfig] = None) -> ContainmentResult:
+    """Internal containment decision (no deprecation): the engine path.
 
-    ``workers > 1`` runs the exact branch-and-bound legs as the parallel
-    frontier search (:mod:`repro.exact.parallel_bab`) -- same verdicts,
-    concurrent node LPs.
+    ``config.workers > 1`` runs the exact branch-and-bound legs as the
+    parallel frontier search (:mod:`repro.exact.parallel_bab`) -- same
+    verdicts, concurrent node LPs.
     """
+    config = config or VerifyConfig()
     if method not in METHODS:
         raise DomainError(f"unknown method {method!r}; choose from {METHODS}")
     if target.dim != network.output_dim:
@@ -163,39 +168,40 @@ def check_containment(network: Network, input_box: Box, target: Box,
     if method == "symbolic":
         result = _check_symbolic(network, input_box, target)
     elif method == "split":
-        result = _check_split(network, input_box, target, max_boxes)
+        result = _check_split(network, input_box, target, config.max_boxes)
     elif method == "exact":
-        result = _check_exact(network, input_box, target, node_limit, tol,
-                              workers=workers)
+        result = _check_exact(network, input_box, target, config)
     else:  # auto: cheap first, exact as the decider
         result = _check_symbolic(network, input_box, target)
         if not result.conclusive:
-            result = _check_exact(network, input_box, target, node_limit, tol,
-                                  workers=workers)
+            result = _check_exact(network, input_box, target, config)
             result.method = "auto(exact)"
     result.elapsed = time.perf_counter() - start
     return result
 
 
-def output_range_exact(network: Network, input_box: Box,
-                       node_limit: int = 2000, tol: float = 1e-6,
-                       workers: int = 1) -> Box:
-    """Exact elementwise output range of ``network`` over ``input_box``.
+def _output_range_exact(network: Network, input_box: Box,
+                        config: Optional[VerifyConfig] = None):
+    """Internal exact output range: ``(box, lp_solves, nodes)``.
 
     Runs one branch-and-bound maximisation and minimisation per output
     neuron, sharing the encoding.  Raises :class:`DomainError` if any solve
     hits the node limit (callers wanting partial answers use ``BaBSolver``).
     """
-    solver = BaBSolver(network, input_box, node_limit=node_limit, tol=tol,
-                       workers=workers)
+    solver = BaBSolver.from_config(network, input_box,
+                                   config or VerifyConfig())
     d = network.output_dim
     lows: List[float] = []
     highs: List[float] = []
+    lp_solves = 0
+    nodes = 0
     for i in range(d):
         c = np.zeros(d)
         c[i] = 1.0
         hi = solver.maximize(c)
         lo = solver.minimize(c)
+        lp_solves += hi.lp_solves + lo.lp_solves
+        nodes += hi.nodes + lo.nodes
         if hi.status == BAB_NODE_LIMIT or lo.status == BAB_NODE_LIMIT:
             raise DomainError(
                 f"branch-and-bound node limit reached on output {i}; "
@@ -205,4 +211,42 @@ def output_range_exact(network: Network, input_box: Box,
         # status raises instead of silently storing a non-tight range.
         highs.append(hi.optimum)
         lows.append(lo.optimum)
-    return Box(np.asarray(lows), np.asarray(highs))
+    return Box(np.asarray(lows), np.asarray(highs)), lp_solves, nodes
+
+
+def check_containment(network: Network, input_box: Box, target: Box,
+                      method: str = DEFAULT_METHOD,
+                      node_limit: int = DEFAULT_NODE_LIMIT,
+                      max_boxes: int = DEFAULT_MAX_BOXES,
+                      tol: float = DEFAULT_TOL,
+                      workers: int = DEFAULT_WORKERS) -> ContainmentResult:
+    """Deprecated shim: decide ``∀x ∈ input_box : f(x) ∈ target``.
+
+    Use :class:`repro.api.ContainmentSpec` through the engine instead.
+    """
+    warn_legacy("check_containment", "ContainmentSpec")
+    from repro.api.engine import VerificationEngine
+    from repro.api.specs import ContainmentSpec
+
+    config = VerifyConfig(node_limit=node_limit, max_boxes=max_boxes,
+                          tol=tol, workers=workers)
+    return VerificationEngine(config).verify(
+        ContainmentSpec(network=network, input_box=input_box, target=target,
+                        method=method)).result
+
+
+def output_range_exact(network: Network, input_box: Box,
+                       node_limit: int = DEFAULT_NODE_LIMIT,
+                       tol: float = DEFAULT_TOL,
+                       workers: int = DEFAULT_WORKERS) -> Box:
+    """Deprecated shim: exact elementwise output range over ``input_box``.
+
+    Use :class:`repro.api.OutputRangeSpec` through the engine instead.
+    """
+    warn_legacy("output_range_exact", "OutputRangeSpec")
+    from repro.api.engine import VerificationEngine
+    from repro.api.specs import OutputRangeSpec
+
+    config = VerifyConfig(node_limit=node_limit, tol=tol, workers=workers)
+    return VerificationEngine(config).verify(
+        OutputRangeSpec(network=network, input_box=input_box)).output_range

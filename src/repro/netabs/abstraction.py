@@ -92,11 +92,11 @@ class NetworkAbstraction:
         propagation domain name or ``"exact"``.
         """
         from repro.domains.propagate import output_box
-        from repro.exact.verify import output_range_exact
+        from repro.exact.verify import _output_range_exact
 
         if method == "exact":
-            hi = output_range_exact(self.upper, box).upper
-            lo = output_range_exact(self.lower, box).lower
+            hi = _output_range_exact(self.upper, box)[0].upper
+            lo = _output_range_exact(self.lower, box)[0].lower
         else:
             hi = output_box(self.upper, box, domain=method).upper
             lo = output_box(self.lower, box, domain=method).lower
