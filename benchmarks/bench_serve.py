@@ -1,0 +1,208 @@
+"""The repro.serve service: submit throughput, latency, cache speedup.
+
+Four questions about the asynchronous verification service (PR 5):
+
+1. *Service overhead* -- a job travels submit -> store -> claim ->
+   executor -> store -> wait; how much end-to-end latency does that add
+   over a direct ``engine.verify`` on the same spec (measured on the fig2
+   network, where the solve is microseconds: the worst case for relative
+   overhead)?
+2. *Submit throughput* -- distinct jobs drained per second at several
+   service worker counts (fresh in-memory store per count, so the verdict
+   cache never short-circuits the measurement).
+3. *Cache-hit speedup* -- resubmitting an identical ``(spec, config)``
+   must be answered from the verdict cache: no new solve, provenance
+   marked ``cached``, and typically orders of magnitude faster.
+4. *HTTP identity* -- a spec submitted over a real HTTP socket must yield
+   the canonical verdict byte string of the direct engine call (asserted,
+   not just reported).
+
+Run standalone for the machine-readable record::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [output.json] [--smoke]
+"""
+
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone: make src/ and repo root importable
+    _ROOT = Path(__file__).resolve().parent.parent
+    for entry in (str(_ROOT / "src"), str(_ROOT)):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+from repro.api import (
+    MaximizeSpec,
+    VerificationEngine,
+    VerifyConfig,
+    canonical_verdict_json,
+)
+from repro.domains import Box
+from repro.nn import fig2_network, random_relu_network
+from repro.serve import ServeClient, VerificationService, serve_http
+
+from benchmarks.common import emit_json
+
+LATENCY_CALLS = 60
+SMOKE_LATENCY_CALLS = 10
+THROUGHPUT_JOBS = 24
+SMOKE_THROUGHPUT_JOBS = 8
+WORKER_COUNTS = (1, 2, 4)
+CACHE_CALLS = 50
+SMOKE_CACHE_CALLS = 10
+
+
+def _fig2_spec(scale=1.0):
+    return MaximizeSpec(network=fig2_network(),
+                        input_box=Box(-np.ones(2), np.array([1.1, 1.1])),
+                        objective=np.array([float(scale)]))
+
+
+def _distinct_specs(n, seed=11):
+    """n distinct jobs over one small network (distinct objectives, so
+    the verdict cache never collapses the workload)."""
+    network = random_relu_network([4, 12, 8, 2], seed=seed, weight_scale=0.4)
+    box = Box(-np.ones(4), np.ones(4))
+    rng = np.random.default_rng(seed)
+    return [MaximizeSpec(network=network, input_box=box,
+                         objective=rng.normal(size=2))
+            for _ in range(n)]
+
+
+def bench_service_latency(calls=LATENCY_CALLS):
+    """End-to-end submit->wait latency vs a direct engine.verify call."""
+    spec_factory = [_fig2_spec(1.0 + i * 1e-9) for i in range(calls)]
+    engine = VerificationEngine(VerifyConfig())
+    engine.verify(spec_factory[0])  # warm the encoding cache
+
+    direct_s = []
+    for spec in spec_factory:
+        start = time.perf_counter()
+        engine.verify(spec)
+        direct_s.append(time.perf_counter() - start)
+
+    served_s = []
+    with VerificationService(workers=1) as service:
+        for spec in spec_factory:
+            start = time.perf_counter()
+            job = service.submit(spec)
+            service.wait(job.job_id, timeout=120)
+            served_s.append(time.perf_counter() - start)
+    direct_med = sorted(direct_s)[len(direct_s) // 2]
+    served_med = sorted(served_s)[len(served_s) // 2]
+    return {
+        "calls": calls,
+        "direct_median_ms": direct_med * 1e3,
+        "served_median_ms": served_med * 1e3,
+        "overhead_ms": (served_med - direct_med) * 1e3,
+    }
+
+
+def bench_submit_throughput(jobs=THROUGHPUT_JOBS):
+    """Distinct jobs drained per second at each service worker count."""
+    specs = _distinct_specs(jobs)
+    engine = VerificationEngine(VerifyConfig())
+    reference = [canonical_verdict_json(engine.verify(s)) for s in specs]
+    sweep = []
+    for workers in WORKER_COUNTS:
+        with VerificationService(workers=workers) as service:
+            start = time.perf_counter()
+            ids = [service.submit(spec).job_id for spec in specs]
+            for job_id in ids:
+                service.wait(job_id, timeout=300)
+            elapsed = time.perf_counter() - start
+            served = [canonical_verdict_json(service.verdict(j))
+                      for j in ids]
+            assert served == reference, (
+                f"served verdicts diverged at workers={workers}")
+        sweep.append({
+            "workers": workers,
+            "jobs": jobs,
+            "elapsed_s": elapsed,
+            "jobs_per_s": jobs / elapsed,
+        })
+    base = sweep[0]["elapsed_s"]
+    for row in sweep:
+        row["speedup_vs_one_worker"] = base / row["elapsed_s"]
+    return {"sweep": sweep, "verdicts_identical": True}
+
+
+def bench_cache_hit_speedup(calls=CACHE_CALLS):
+    """Resubmission of an identical request vs its first (solved) run."""
+    spec = _fig2_spec()
+    with VerificationService(workers=1) as service:
+        start = time.perf_counter()
+        job = service.submit(spec)
+        service.wait(job.job_id, timeout=120)
+        miss_s = time.perf_counter() - start
+
+        hit_s = []
+        for _ in range(calls):
+            start = time.perf_counter()
+            record = service.submit(spec)
+            hit_s.append(time.perf_counter() - start)
+            assert record.cache_hit, "resubmission missed the verdict cache"
+        hit_med = sorted(hit_s)[len(hit_s) // 2]
+        verdict = service.verdict(record.job_id)
+        assert verdict.provenance.cached is True
+        executed = service.stats()["executed_jobs"]
+    assert executed == 1, f"cache hits re-executed ({executed} solves)"
+    return {
+        "calls": calls,
+        "miss_ms": miss_s * 1e3,
+        "hit_median_ms": hit_med * 1e3,
+        "speedup": miss_s / hit_med,
+        "no_new_solves": True,
+    }
+
+
+def bench_http_identity():
+    """One spec over a real HTTP socket == the direct engine call."""
+    spec = _fig2_spec()
+    direct = canonical_verdict_json(
+        VerificationEngine(VerifyConfig()).verify(spec))
+    service = VerificationService(workers=1).start()
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServeClient(server.url)
+        start = time.perf_counter()
+        job = client.submit(spec)
+        client.wait(job["job_id"], timeout=120)
+        elapsed = time.perf_counter() - start
+        served = canonical_verdict_json(client.verdict(job["job_id"]))
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    assert served == direct, "HTTP verdict diverged from direct engine call"
+    return {"http_roundtrip_ms": elapsed * 1e3, "byte_identical": True}
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    argv = [a for a in argv if a != "--smoke"]
+    out = argv[0] if argv else None
+    results = {
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "service_latency": bench_service_latency(
+            SMOKE_LATENCY_CALLS if smoke else LATENCY_CALLS),
+        "submit_throughput": bench_submit_throughput(
+            SMOKE_THROUGHPUT_JOBS if smoke else THROUGHPUT_JOBS),
+        "cache_hit_speedup": bench_cache_hit_speedup(
+            SMOKE_CACHE_CALLS if smoke else CACHE_CALLS),
+        "http_identity": bench_http_identity(),
+    }
+    emit_json("bench_serve", results, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

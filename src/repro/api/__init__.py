@@ -47,6 +47,14 @@ _EXPORTS = {
     "spec_from_dict": "repro.api.specs",
     "spec_to_json": "repro.api.specs",
     "spec_from_json": "repro.api.specs",
+    # wire serialization (the remote-executor JSON forms)
+    "config_to_json": "repro.api.serialize",
+    "config_from_json": "repro.api.serialize",
+    "verdict_to_dict": "repro.api.serialize",
+    "verdict_from_dict": "repro.api.serialize",
+    "verdict_to_json": "repro.api.serialize",
+    "verdict_from_json": "repro.api.serialize",
+    "canonical_verdict_json": "repro.api.serialize",
     # verdicts
     "Provenance": "repro.api.verdict",
     "Verdict": "repro.api.verdict",
@@ -57,6 +65,7 @@ _EXPORTS = {
     "PropositionVerdict": "repro.api.verdict",
     "ContinuousVerdict": "repro.api.verdict",
     "BaselineVerdict": "repro.api.verdict",
+    "FailedVerdict": "repro.api.verdict",
     # engine
     "VerificationEngine": "repro.api.engine",
     "verify": "repro.api.engine",

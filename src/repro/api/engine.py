@@ -39,8 +39,10 @@ from repro.api.verdict import (
     BaselineVerdict,
     ContainmentVerdict,
     ContinuousVerdict,
+    FailedVerdict,
     MaximizeVerdict,
     PropositionVerdict,
+    Provenance,
     RangeVerdict,
     ThresholdVerdict,
     Verdict,
@@ -97,7 +99,8 @@ class VerificationEngine:
         return handler(self, spec, cfg)
 
     def submit(self, specs: Iterable[Spec],
-               config: Optional[VerifyConfig] = None) -> List[Verdict]:
+               config: Optional[VerifyConfig] = None, *,
+               timeout: Optional[float] = None) -> List[Verdict]:
         """Run independent Specs as one batch on the shared pool.
 
         With ``workers > 1`` the spec evaluations overlap on the module
@@ -107,17 +110,61 @@ class VerificationEngine:
         configured width, never on granted concurrency -- but per-verdict
         ``encoding_reuse`` deltas overlap in time and are only meaningful
         summed over the batch.
+
+        A spec whose execution *raises* yields a :class:`FailedVerdict`
+        entry in its slot instead of losing the rest of the batch; the
+        error class and message ride along.  ``timeout`` is a deadline in
+        seconds over the whole batch -- specs not finished when it expires
+        come back as ``FailedVerdict(error_type="TimeoutError")``
+        (threads cannot be killed, so in-flight solver work is abandoned
+        to the pool, not aborted).
         """
         cfg = config or self.config
         spec_list = list(specs)
+        if not spec_list:
+            return []
         width = min(cfg.workers, len(spec_list))
-        if width <= 1:
-            return [self.verify(spec, cfg) for spec in spec_list]
-        from repro.core.parallel import run_parallel
+        if width <= 1 and timeout is None:
+            return [self._verify_caught(spec, cfg) for spec in spec_list]
+        # With a deadline even a width-1 batch goes through the pool, so
+        # "not finished by the deadline -> FailedVerdict" holds regardless
+        # of the worker count (an inline loop could only check *between*
+        # specs and would block on an overrunning one).
+        from repro.core.parallel import TIMED_OUT, run_parallel
 
-        tasks = [(f"spec{i}", (lambda s=spec: self.verify(s, cfg)))
+        tasks = [(f"spec{i}", (lambda s=spec: self._verify_caught(s, cfg)))
                  for i, spec in enumerate(spec_list)]
-        return [value for _, value, _ in run_parallel(tasks, workers=width)]
+        outcomes = run_parallel(tasks, workers=max(1, width),
+                                timeout=timeout)
+        return [self._timeout_verdict(spec, cfg) if value is TIMED_OUT
+                else value
+                for spec, (_, value, _) in zip(spec_list, outcomes)]
+
+    def _verify_caught(self, spec: Spec, cfg: VerifyConfig) -> Verdict:
+        """One spec execution with per-spec error capture (submit path)."""
+        run = _Run()
+        try:
+            return self.verify(spec, cfg)
+        except Exception as exc:  # noqa: BLE001 - the point is containment
+            return FailedVerdict(
+                spec_type=getattr(spec, "spec_type", "unknown"),
+                holds=None,
+                provenance=run.provenance(cfg),
+                detail=f"{type(exc).__name__}: {exc}",
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+
+    @staticmethod
+    def _timeout_verdict(spec: Spec, cfg: VerifyConfig) -> FailedVerdict:
+        return FailedVerdict(
+            spec_type=getattr(spec, "spec_type", "unknown"),
+            holds=None,
+            provenance=Provenance(workers=cfg.workers),
+            detail="submit deadline expired before this spec finished",
+            error="submit deadline expired before this spec finished",
+            error_type="TimeoutError",
+        )
 
     # -------------------------------------------------------------- baseline
     def baseline(self, problem, *, domain: str = "inductive",

@@ -34,6 +34,7 @@ __all__ = [
     "PropositionVerdict",
     "ContinuousVerdict",
     "BaselineVerdict",
+    "FailedVerdict",
 ]
 
 
@@ -53,6 +54,10 @@ class Provenance:
     rounds: int = 0
     workers: int = 1
     encoding_reuse: Dict[str, int] = field(default_factory=dict)
+    #: ``True`` when this verdict was replayed from a verdict cache (the
+    #: serving layer of :mod:`repro.serve`) instead of being solved anew.
+    #: ``elapsed``/``lp_solves`` then describe the *original* solve.
+    cached: bool = False
 
 
 @dataclass
@@ -147,6 +152,19 @@ class ContinuousVerdict(Verdict):
     @property
     def strategy(self) -> str:
         return self.result.strategy
+
+
+@dataclass
+class FailedVerdict(Verdict):
+    """A spec whose execution *errored* (not a refutation: ``holds`` is
+    ``None``).  Produced by ``engine.submit`` for per-spec failures and by
+    the serving layer for jobs that raised or timed out, so one bad spec
+    in a batch cannot lose the other verdicts."""
+
+    #: The exception message (or a timeout notice).
+    error: str = ""
+    #: The exception class name (``"TimeoutError"`` for deadline expiry).
+    error_type: str = ""
 
 
 @dataclass

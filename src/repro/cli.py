@@ -8,7 +8,15 @@ Small demonstrations runnable without writing any code:
   verify, drift, SVuDC, fine-tune, SVbTV) with a Table-I style summary;
 * ``verify``      -- verify a serialized network (``.npz``) on a box domain;
 * ``verify-spec`` -- execute a declarative :mod:`repro.api` Spec from a
-  JSON file through the :class:`~repro.api.engine.VerificationEngine`.
+  JSON file (or stdin with ``-``) through the
+  :class:`~repro.api.engine.VerificationEngine`; ``--wire`` emits the full
+  verdict wire JSON, which is the executor protocol of :mod:`repro.serve`;
+* ``serve``       -- run the asynchronous verification service (persistent
+  job store + HTTP API);
+* ``submit``      -- queue a spec file on a running server (``--wait``
+  blocks for the verdict);
+* ``status``      -- one job's record, or the whole queue + server stats;
+* ``cancel``      -- cancel a queued (or best-effort running) job.
 
 Every command that touches the exact layer builds one
 :class:`~repro.api.VerifyConfig` from the shared engine flags, so every
@@ -131,11 +139,68 @@ def build_parser() -> argparse.ArgumentParser:
         "spec",
         help='spec JSON: either a bare spec document (with a "type" tag, '
              'see repro.api.spec_to_json) or {"spec": {...}, '
-             '"config": {...}} to bundle engine options')
+             '"config": {...}} to bundle engine options; "-" reads stdin '
+             "(the repro.serve executor wire protocol)")
     verify_spec.add_argument("--json", action="store_true",
-                             help="emit the verdict as machine-readable "
-                                  "JSON instead of prose")
+                             help="emit a verdict summary as machine-"
+                                  "readable JSON instead of prose")
+    verify_spec.add_argument("--wire", action="store_true",
+                             help="emit the *full* verdict wire JSON "
+                                  "(repro.api.verdict_to_json): the form "
+                                  "remote executors ship back and "
+                                  "verdict_from_json reconstructs")
     _add_engine_args(verify_spec, full=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the asynchronous verification service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8717,
+                       help="bind port (default 8717; 0 = ephemeral)")
+    serve.add_argument("--db", default="repro-jobs.sqlite",
+                       help="job-store path (default repro-jobs.sqlite; "
+                            '":memory:" for a transient service)')
+    serve.add_argument("--executor", default="inprocess",
+                       choices=("inprocess", "subprocess"),
+                       help="where jobs run: engine threads in this "
+                            "process, or verify-spec subprocesses "
+                            "speaking the JSON wire form")
+    serve.add_argument("--service-workers", type=int, default=2,
+                       help="concurrent jobs (default 2); --workers "
+                            "below remains the per-solve pool width")
+    _add_engine_args(serve, full=True)
+
+    submit = sub.add_parser(
+        "submit", help="queue a spec file on a running repro serve")
+    submit.add_argument("spec", help='spec JSON file (bare document or '
+                                     '{"spec", "config"} bundle); "-" '
+                                     "reads stdin")
+    submit.add_argument("--url", default="http://127.0.0.1:8717",
+                        help="server endpoint (default "
+                             "http://127.0.0.1:8717)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (higher runs first; "
+                             "FIFO within a priority)")
+    submit.add_argument("--job-timeout", type=float, default=None,
+                        help="per-job wall-clock budget in seconds")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the verdict is in and print it")
+    submit.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON (with --wait: "
+                             "the full verdict wire JSON)")
+
+    status = sub.add_parser(
+        "status", help="job record(s) from a running repro serve")
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id; omit for the whole queue + stats")
+    status.add_argument("--url", default="http://127.0.0.1:8717")
+    status.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON")
+
+    cancel = sub.add_parser("cancel", help="cancel a job on a running "
+                                           "repro serve")
+    cancel.add_argument("job", help="job id")
+    cancel.add_argument("--url", default="http://127.0.0.1:8717")
     return parser
 
 
@@ -267,18 +332,25 @@ def _cmd_verify(args) -> int:
     return 0 if outcome.holds else 1
 
 
+def _load_spec_document(path: str):
+    """Read a spec file (or stdin for ``-``): returns ``(spec_doc,
+    config_doc_or_None)`` for both the bare and bundled layouts."""
+    if path == "-":
+        document = json.load(sys.stdin)
+    else:
+        with open(path) as handle:
+            document = json.load(handle)
+    if isinstance(document, dict) and "spec" in document:
+        return document["spec"], document.get("config")
+    return document, None
+
+
 def _cmd_verify_spec(args) -> int:
     from repro.api import (MaximizeVerdict, RangeVerdict, VerificationEngine,
                            VerifyConfig, spec_from_dict)
 
-    with open(args.spec) as handle:
-        document = json.load(handle)
-    if isinstance(document, dict) and "spec" in document:
-        spec_doc = document["spec"]
-        config = VerifyConfig.from_dict(document.get("config") or {})
-    else:
-        spec_doc = document
-        config = VerifyConfig()
+    spec_doc, config_doc = _load_spec_document(args.spec)
+    config = VerifyConfig.from_dict(config_doc or {})
     # Command-line engine flags override whatever the file bundled
     # (including --no-node-tighten / --frontier-width 0 resets).
     config = _config_from_args(args, base=config)
@@ -290,7 +362,12 @@ def _cmd_verify_spec(args) -> int:
     value_query = isinstance(verdict, RangeVerdict) or (
         isinstance(verdict, MaximizeVerdict) and verdict.holds is None
         and verdict.result.status == "optimal")
-    if args.json:
+    from repro.api.serialize import verdict_to_dict
+
+    verdict_doc = verdict_to_dict(verdict)
+    if args.wire:
+        print(json.dumps(verdict_doc, allow_nan=False, sort_keys=True))
+    elif args.json:
         record = {
             "spec_type": verdict.spec_type,
             "holds": verdict.holds,
@@ -325,9 +402,139 @@ def _cmd_verify_spec(args) -> int:
             print(f"output range: {verdict.output_range}")
         if isinstance(verdict, MaximizeVerdict) and value_query:
             print(f"optimum: {verdict.optimum:.9g}")
-    if value_query:
+    # One exit-code policy shared with `repro submit --wait` (the wire
+    # form carries everything the rule needs).
+    return _verdict_exit_code(verdict_doc)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import VerificationService, serve_http
+
+    config = _config_from_args(args)
+    service = VerificationService(
+        store=args.db, executor=args.executor,
+        workers=args.service_workers, default_config=config)
+    server = serve_http(service, host=args.host, port=args.port)
+    service.start()
+    if service.store.recovered_jobs:
+        print(f"recovered {service.store.recovered_jobs} interrupted "
+              "job(s) back into the queue")
+    print(f"repro serve listening on {server.url}  "
+          f"(store={args.db}, executor={args.executor}, "
+          f"service workers={args.service_workers})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down ...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _print_job_record(record: dict) -> None:
+    line = (f"{record['job_id']}  {record['state']:<9}  "
+            f"priority={record['priority']}  attempts={record['attempts']}")
+    if record.get("cache_hit"):
+        line += "  [cache hit]"
+    if record.get("error"):
+        line += f"  error: {record['error']}"
+    print(line)
+
+
+def _verdict_exit_code(verdict_doc: dict) -> int:
+    if verdict_doc.get("verdict") == "failed":
+        return 3
+    holds = verdict_doc.get("holds")
+    if holds is None:
+        # Value queries succeed by computing the value -- same rule as
+        # verify-spec: a range always has one, a maximize only when the
+        # search actually ran to optimality (a node-limited holds=None is
+        # inconclusive, exit 2).
+        if verdict_doc.get("verdict") == "range":
+            return 0
+        if verdict_doc.get("verdict") == "maximize" and \
+                (verdict_doc.get("result") or {}).get("status") == "optimal":
+            return 0
+    return {True: 0, False: 1, None: 2}[holds]
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import ServeClient
+
+    spec_doc, config_doc = _load_spec_document(args.spec)
+    client = ServeClient(args.url)
+    record = client.submit(spec_doc, config=config_doc,
+                           priority=args.priority,
+                           timeout=args.job_timeout)
+    if not args.wait:
+        if args.json:
+            print(json.dumps(record, allow_nan=False))
+        else:
+            _print_job_record(record)
         return 0
-    return {True: 0, False: 1, None: 2}[verdict.holds]
+    record = client.wait(record["job_id"], timeout=None)
+    if record["state"] != "done":
+        if args.json:
+            print(json.dumps(record, allow_nan=False))
+        else:
+            _print_job_record(record)
+        return 3 if record["state"] == "failed" else 4
+    verdict_doc = record["verdict"]
+    if args.json:
+        # The full wire form, canonically ordered.  Provenance is per-run
+        # (elapsed, cached flag), so comparison with `repro verify-spec
+        # --wire` output is byte-exact *after* canonical_verdict_json
+        # strips it -- the rule the CI identity gate applies.
+        print(json.dumps(verdict_doc, allow_nan=False, sort_keys=True))
+    else:
+        provenance = verdict_doc.get("provenance", {})
+        cached = "  [verdict cache]" if provenance.get("cached") else ""
+        print(f"{record['job_id']}: {verdict_doc['spec_type']} "
+              f"holds={verdict_doc['holds']}  ({verdict_doc['detail']})"
+              + cached)
+    return _verdict_exit_code(verdict_doc)
+
+
+def _cmd_status(args) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.job is not None:
+        record = client.job(args.job)
+        if args.json:
+            print(json.dumps(record, allow_nan=False))
+        else:
+            _print_job_record(record)
+            if record.get("verdict") is not None:
+                verdict_doc = record["verdict"]
+                print(f"  verdict: {verdict_doc['spec_type']} "
+                      f"holds={verdict_doc['holds']}  "
+                      f"({verdict_doc['detail']})")
+        return 0
+    stats = client.stats()
+    records = client.jobs()
+    if args.json:
+        print(json.dumps({"stats": stats, "jobs": records},
+                         allow_nan=False))
+        return 0
+    counts = " ".join(f"{state}={n}" for state, n in stats["jobs"].items())
+    # The durable cache counters (the in-memory ones reset on restart).
+    print(f"server: {counts}  cache_entries="
+          f"{stats['verdict_cache']['entries']} "
+          f"cache_hits={stats['verdict_cache']['hits']}")
+    for record in records:
+        _print_job_record(record)
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.serve import ServeClient
+
+    result = ServeClient(args.url).cancel(args.job)
+    print(f"{result['job_id']}: {result['state']}")
+    return 0 if result["state"] == "cancelled" else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -343,6 +550,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "verify-spec":
         return _cmd_verify_spec(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "cancel":
+        return _cmd_cancel(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -22,11 +22,13 @@ private per-call pool so they are never starved or silently narrowed.
 
 from __future__ import annotations
 
+import atexit
 import heapq
 import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import wait as futures_wait
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -34,7 +36,8 @@ from repro.errors import ReproError
 from repro.core.propositions import SubproblemReport
 
 __all__ = ["sequential_time", "parallel_time", "makespan", "run_parallel",
-           "available_width", "effective_workers", "reserved_width"]
+           "available_width", "effective_workers", "reserved_width",
+           "drain_shared_pool", "TIMED_OUT"]
 
 _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_LOCK = threading.Lock()
@@ -57,6 +60,37 @@ def _shared_pool() -> ThreadPoolExecutor:
                     max_workers=_POOL_SIZE,
                     thread_name_prefix=_POOL_THREAD_PREFIX)
     return _POOL
+
+
+def drain_shared_pool() -> None:
+    """Shut the shared pool down, *waiting* for every in-flight task.
+
+    Long-lived services (:mod:`repro.serve`) make the module pool a
+    process-lifetime resource, so this is registered with :mod:`atexit`:
+    whatever work is still on the pool when the interpreter starts tearing
+    down is drained deterministically *before* module globals are cleared,
+    instead of racing teardown.  Safe to call any time -- the pool is
+    lazily recreated by the next ``run_parallel``.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+atexit.register(drain_shared_pool)
+
+
+class _TimedOut:
+    """Singleton sentinel: a task abandoned at a ``run_parallel`` deadline."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TIMED_OUT"
+
+
+#: The value reported for tasks that missed a ``run_parallel`` deadline.
+TIMED_OUT = _TimedOut()
 
 
 def effective_workers(workers: int) -> int:
@@ -117,16 +151,59 @@ def makespan(subproblems: Sequence[SubproblemReport], workers: int) -> float:
     return float(max(loads))
 
 
+def _gather(tasks: Sequence[Tuple[str, Callable[[], object]]],
+            futures: List, deadline: Optional[float]
+            ) -> List[Tuple[str, object, float]]:
+    """Collect ``(name, value, elapsed)`` in submission order; past the
+    deadline, unfinished (or never-submitted) tasks report ``TIMED_OUT``."""
+    results = []
+    for (name, _), future in zip(tasks, futures):
+        if deadline is None:
+            value, elapsed = future.result()
+        else:
+            try:
+                value, elapsed = future.result(
+                    timeout=max(0.0, deadline - time.monotonic()))
+            except FuturesTimeoutError:
+                # On 3.11+ concurrent.futures.TimeoutError *is* builtins
+                # TimeoutError, so this clause also catches a task that
+                # raised TimeoutError itself.  A finished future means
+                # the exception came from the task: re-read its real
+                # outcome (re-raising the task's error); only a genuinely
+                # unfinished future is a deadline expiry.
+                if future.done():
+                    value, elapsed = future.result()
+                else:
+                    value, elapsed = TIMED_OUT, 0.0
+        results.append((name, value, elapsed))
+    for name, _ in tasks[len(futures):]:
+        results.append((name, TIMED_OUT, 0.0))
+    return results
+
+
 def run_parallel(tasks: Sequence[Tuple[str, Callable[[], object]]],
-                 workers: int = 4) -> List[Tuple[str, object, float]]:
+                 workers: int = 4,
+                 timeout: Optional[float] = None
+                 ) -> List[Tuple[str, object, float]]:
     """Execute named thunks on a thread pool, timing each inside its worker.
 
     Returns ``[(name, result, elapsed), ...]`` in submission order.  LP
     solving in HiGHS releases the GIL, so layer checks genuinely overlap.
+
+    ``timeout`` is a deadline (seconds) over the whole call: tasks that
+    have not *finished* when it expires are reported with the
+    :data:`TIMED_OUT` sentinel as their value (``elapsed`` 0.0) and the
+    call returns promptly.  Threads cannot be killed, so in-flight work is
+    abandoned, not aborted -- it completes in the background, and a
+    shared-pool reservation is only returned once its threads are actually
+    free (a background joiner handles that), so the width accounting stays
+    exact.  Without a timeout the historical barrier semantics hold: the
+    call returns only when every task is done.
     """
     global _RESERVED
     if workers <= 0:
         raise ReproError(f"workers must be positive, got {workers}")
+    deadline = None if timeout is None else time.monotonic() + timeout
 
     def timed(thunk: Callable[[], object]) -> Tuple[object, float]:
         t0 = time.perf_counter()
@@ -150,11 +227,26 @@ def run_parallel(tasks: Sequence[Tuple[str, Callable[[], object]]],
                 _RESERVED += width
                 admitted = True
     if not admitted:
-        with ThreadPoolExecutor(max_workers=workers,
-                                thread_name_prefix=_POOL_THREAD_PREFIX) as pool:
-            futures = [pool.submit(timed, thunk) for _, thunk in tasks]
-            return [(name, *future.result())
-                    for (name, _), future in zip(tasks, futures)]
+        pool = ThreadPoolExecutor(max_workers=workers,
+                                  thread_name_prefix=_POOL_THREAD_PREFIX)
+        futures = []
+        try:
+            for _, thunk in tasks:
+                if deadline is not None and time.monotonic() >= deadline:
+                    break  # the tail is reported TIMED_OUT, never submitted
+                futures.append(pool.submit(timed, thunk))
+            return _gather(tasks, futures, deadline)
+        finally:
+            # Submission included, so an interrupt mid-loop still hits the
+            # historical `with` barrier.  Without a deadline that barrier
+            # is unconditional; at a deadline, queued-but-unstarted tasks
+            # are *cancelled* (they were just reported TIMED_OUT -- letting
+            # them run anyway would burn CPU and block interpreter exit)
+            # while already-running stragglers finish in the background
+            # instead of blocking the caller.
+            pool.shutdown(wait=deadline is None
+                          or all(f.done() for f in futures),
+                          cancel_futures=deadline is not None)
 
     # From here the reservation is held: *everything* below -- semaphore and
     # pool construction included -- runs under the finally that returns it,
@@ -175,21 +267,41 @@ def run_parallel(tasks: Sequence[Tuple[str, Callable[[], object]]],
 
         pool = _shared_pool()
         for _, thunk in tasks:
-            gate.acquire()
+            if deadline is None:
+                gate.acquire()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not gate.acquire(timeout=remaining):
+                    break  # deadline hit mid-submission: the tail times out
             try:
                 futures.append(pool.submit(gated, thunk))
             except BaseException:
                 gate.release()  # submit failed: the slot was never taken
                 raise
-        results = []
-        for (name, _), future in zip(tasks, futures):
-            value, elapsed = future.result()
-            results.append((name, value, elapsed))
-        return results
+        return _gather(tasks, futures, deadline)
     finally:
-        # Match the per-call pool's shutdown barrier on *every* exit path
-        # (including interrupts): no task of this call outlives it, and the
-        # reservation is only returned once its threads are actually free.
-        futures_wait(futures)
-        with _POOL_LOCK:
-            _RESERVED -= width
+        # Return the reservation only once this call's threads are actually
+        # free (the per-call pool's shutdown barrier, reproduced on *every*
+        # exit path including interrupts).  After a deadline with work
+        # still in flight, a background joiner holds the width until the
+        # abandoned tasks drain, so the accounting stays exact while the
+        # caller returns promptly.
+        if deadline is None or all(f.done() for f in futures):
+            futures_wait(futures)
+            with _POOL_LOCK:
+                _RESERVED -= width
+        else:
+            # Submitted-but-unstarted futures were just reported
+            # TIMED_OUT: cancel them (no-op for running ones) so they
+            # cannot start late, burn CPU, and hold the reservation.
+            for future in futures:
+                future.cancel()
+
+            def _return_width(pending=futures, held=width):
+                global _RESERVED
+                futures_wait(pending)
+                with _POOL_LOCK:
+                    _RESERVED -= held
+
+            threading.Thread(target=_return_width,
+                             name="repro-pool-joiner", daemon=True).start()

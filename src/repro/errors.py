@@ -48,3 +48,8 @@ class MonitorError(ReproError):
 
 class VehicleError(ReproError):
     """The vehicle simulation substrate received invalid configuration."""
+
+
+class ServeError(ReproError):
+    """The verification service (job store, executors, HTTP front end)
+    received an invalid request or hit an internal failure."""

@@ -1,0 +1,73 @@
+"""repro.serve: the asynchronous verification service (fifth substrate).
+
+The paper's continuous-verification loop assumes verification runs as an
+*ongoing service* next to an evolving system.  This package provides that
+layer over the :mod:`repro.api` engine:
+
+* a persistent **job store** (:class:`JobStore`, SQLite) with crash-safe
+  recovery and a fingerprint-keyed **verdict cache**;
+* a **scheduler** (:class:`VerificationService`) with priority + FIFO
+  ordering, worker pools, per-job timeouts and cancellation;
+* **executors** running jobs in-process or in ``verify-spec`` subprocesses
+  speaking the JSON wire form (the seam future remote executors plug into);
+* a stdlib **HTTP front end** (:class:`ServeAPIServer`) and **client**
+  (:class:`ServeClient`); the CLI twins are ``repro serve`` / ``submit`` /
+  ``status`` / ``cancel``.
+
+Quick start::
+
+    from repro.serve import VerificationService
+
+    with VerificationService(store="jobs.sqlite", workers=2) as service:
+        job = service.submit(spec)                  # returns immediately
+        record = service.wait(job.job_id)
+        verdict = service.verdict(job.job_id)       # a repro.api Verdict
+
+Like :mod:`repro.api`, exports resolve lazily (PEP 562) so importing the
+package does not eagerly pull the engine stack.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # store
+    "JobStore": "repro.serve.store",
+    "JobRecord": "repro.serve.store",
+    "job_fingerprint": "repro.serve.store",
+    "JOB_QUEUED": "repro.serve.store",
+    "JOB_RUNNING": "repro.serve.store",
+    "JOB_DONE": "repro.serve.store",
+    "JOB_FAILED": "repro.serve.store",
+    "JOB_CANCELLED": "repro.serve.store",
+    "JOB_STATES": "repro.serve.store",
+    "TERMINAL_STATES": "repro.serve.store",
+    # scheduler
+    "VerificationService": "repro.serve.scheduler",
+    # executors
+    "InProcessExecutor": "repro.serve.executors",
+    "SubprocessExecutor": "repro.serve.executors",
+    "make_executor": "repro.serve.executors",
+    # http + client
+    "ServeAPIServer": "repro.serve.http",
+    "serve_http": "repro.serve.http",
+    "ServeClient": "repro.serve.client",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.serve' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,135 @@
+"""Python client for the verification service's HTTP API.
+
+:class:`ServeClient` is deliberately stdlib-only (``http.client``) so any
+process with this package importable -- or any other HTTP speaker
+following ``docs/wire_protocol.md`` -- can drive a server:
+
+    >>> client = ServeClient("http://127.0.0.1:8717")
+    >>> job = client.submit(spec)                 # Spec or wire dict
+    >>> record = client.wait(job["job_id"])
+    >>> verdict = client.verdict(job["job_id"])   # a repro.api Verdict
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional
+from urllib.parse import quote, urlsplit
+
+from repro.errors import ServeError
+from repro.serve.store import TERMINAL_STATES
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8717",
+                 timeout: float = 30.0):
+        parts = urlsplit(base_url if "//" in base_url
+                         else "http://" + base_url)
+        if parts.scheme not in ("http", ""):
+            raise ServeError(
+                f"only http:// endpoints are supported, got {base_url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8717
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- plumbing
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict] = None) -> Dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload, allow_nan=False)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"server returned unparseable JSON for {method} {path}: "
+                f"{exc}") from None
+        if response.status >= 400:
+            raise ServeError(
+                data.get("error",
+                         f"{method} {path} failed ({response.status})"))
+        return data
+
+    # ------------------------------------------------------------------ API
+    def submit(self, spec, config=None, priority: int = 0,
+               timeout: Optional[float] = None) -> Dict:
+        """Submit a Spec (object or wire dict); returns the job record."""
+        from repro.api.config import VerifyConfig
+        from repro.api.specs import Spec, spec_to_dict
+
+        document: Dict = {
+            "spec": spec_to_dict(spec) if isinstance(spec, Spec) else spec,
+        }
+        if config is not None:
+            document["config"] = (config.to_dict()
+                                  if isinstance(config, VerifyConfig)
+                                  else config)
+        if priority:
+            document["priority"] = int(priority)
+        if timeout is not None:
+            document["timeout"] = float(timeout)
+        return self._request("POST", "/jobs", document)
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{quote(job_id)}")
+
+    def jobs(self, state: Optional[str] = None,
+             limit: Optional[int] = None) -> List[Dict]:
+        filters = []
+        if state:
+            filters.append(f"state={quote(state)}")
+        if limit is not None:
+            filters.append(f"limit={int(limit)}")
+        path = "/jobs" + ("?" + "&".join(filters) if filters else "")
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("DELETE", f"/jobs/{quote(job_id)}")
+
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")
+
+    def wait(self, job_id: str, timeout: Optional[float] = 60.0,
+             poll: float = 0.05) -> Dict:
+        """Poll until the job is terminal; returns its final record."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:g}s")
+            time.sleep(poll)
+
+    def verdict(self, job_id: str):
+        """The finished job's verdict as a :class:`repro.api` object."""
+        from repro.api.serialize import verdict_from_dict
+
+        record = self.job(job_id)
+        if record.get("verdict") is None:
+            raise ServeError(
+                f"job {job_id} has no verdict (state {record['state']!r}"
+                + (f", error {record['error']!r}" if record.get("error")
+                   else "") + ")")
+        return verdict_from_dict(record["verdict"])

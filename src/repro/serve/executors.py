@@ -1,0 +1,129 @@
+"""Executors: how one claimed job becomes one verdict wire dict.
+
+Both executors speak the wire forms only (Spec JSON in, Verdict JSON
+out), so the scheduler never needs to know where the solve happened:
+
+* :class:`InProcessExecutor` -- deserializes and runs the job on the
+  :class:`~repro.api.engine.VerificationEngine` inside the worker thread.
+  LP solving releases the GIL, so several in-process workers genuinely
+  overlap; per-job timeouts are *post-hoc* (threads cannot be killed --
+  an overrunning job is failed and its late verdict discarded).
+* :class:`SubprocessExecutor` -- ships the job to a fresh
+  ``python -m repro verify-spec - --wire`` child over stdin/stdout: the
+  exact JSON protocol a remote executor on another machine would speak,
+  with real preemption (timeout kills the child) and full memory/fault
+  isolation at the cost of interpreter startup per job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ServeError
+
+__all__ = ["InProcessExecutor", "SubprocessExecutor", "make_executor"]
+
+
+class InProcessExecutor:
+    """Run jobs on the engine inside the calling (worker) thread."""
+
+    name = "inprocess"
+
+    def execute(self, spec_json: str, config_json: str,
+                timeout: Optional[float] = None) -> Dict:
+        from repro.api.engine import VerificationEngine
+        from repro.api.serialize import config_from_json, verdict_to_dict
+        from repro.api.specs import spec_from_json
+
+        spec = spec_from_json(spec_json)
+        config = config_from_json(config_json)
+        started = time.monotonic()
+        verdict = VerificationEngine(config).verify(spec)
+        if timeout is not None and time.monotonic() - started > timeout:
+            # In-process work cannot be preempted; enforce the budget by
+            # discarding the late result (never cached, job fails).
+            raise TimeoutError(
+                f"job exceeded its {timeout:g}s budget (in-process "
+                "execution cannot be preempted; late verdict discarded)")
+        return verdict_to_dict(verdict)
+
+
+class SubprocessExecutor:
+    """Run jobs in a fresh interpreter over the verify-spec wire form."""
+
+    name = "subprocess"
+
+    def __init__(self, python: Optional[str] = None):
+        self.python = python or sys.executable
+
+    def _child_env(self) -> Dict[str, str]:
+        # The child must import the same repro tree as this process,
+        # wherever the server was launched from.
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH", "")
+        if src_dir not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (src_dir + os.pathsep + existing
+                                 if existing else src_dir)
+        return env
+
+    def execute(self, spec_json: str, config_json: str,
+                timeout: Optional[float] = None) -> Dict:
+        bundle = json.dumps({"spec": json.loads(spec_json),
+                             "config": json.loads(config_json)},
+                            allow_nan=False)
+        proc = subprocess.Popen(
+            [self.python, "-m", "repro", "verify-spec", "-", "--wire"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, env=self._child_env())
+        try:
+            out, err = proc.communicate(bundle, timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            raise TimeoutError(
+                f"job exceeded its {timeout:g}s budget "
+                "(executor subprocess killed)") from None
+        # verify-spec exit codes are the *verdict* (0 holds / 1 fails /
+        # 2 inconclusive), not health -- but an uncaught exception in the
+        # child *also* exits 1 (with an empty stdout), so the real success
+        # test is whether a verdict document came back; on failure the
+        # child's stderr carries the actual diagnosis.
+        try:
+            return json.loads(out)
+        except json.JSONDecodeError:
+            raise ServeError(
+                f"executor subprocess exited {proc.returncode} without a "
+                f"verdict document: {err.strip()[-500:] or '(no stderr)'}"
+            ) from None
+
+
+ExecutorLike = Union[InProcessExecutor, SubprocessExecutor]
+
+_EXECUTORS = {
+    InProcessExecutor.name: InProcessExecutor,
+    SubprocessExecutor.name: SubprocessExecutor,
+}
+
+
+def make_executor(executor: Union[str, ExecutorLike]) -> ExecutorLike:
+    """Resolve an executor name (or pass an instance through)."""
+    if isinstance(executor, str):
+        if executor not in _EXECUTORS:
+            raise ServeError(
+                f"unknown executor {executor!r}; "
+                f"known: {sorted(_EXECUTORS)}")
+        return _EXECUTORS[executor]()
+    if not hasattr(executor, "execute"):
+        raise ServeError(
+            f"not an executor: {type(executor).__name__} "
+            "(needs an .execute(spec_json, config_json, timeout) method)")
+    return executor

@@ -1,0 +1,228 @@
+"""Stdlib HTTP front end for the verification service.
+
+A thin JSON/REST skin over :class:`~repro.serve.scheduler
+.VerificationService` on ``http.server.ThreadingHTTPServer`` (one thread
+per connection; the actual solving happens on the service's own worker
+pool, so slow solves never block the listener):
+
+====== =================== ==============================================
+Method Path                Meaning
+====== =================== ==============================================
+POST   ``/jobs``           submit ``{"spec": ..., "config"?, "priority"?,
+                           "timeout"?}``; 201 + the job record
+GET    ``/jobs/{id}``      one job record (verdict included when done)
+GET    ``/jobs``           all records (``?state=queued`` filters;
+                           verdicts elided for brevity)
+DELETE ``/jobs/{id}``      cancel; 200 + resulting state
+GET    ``/healthz``        liveness + queue counts
+GET    ``/stats``          full scheduler/store/cache statistics
+====== =================== ==============================================
+
+The exact request/response schemas are specified in
+``docs/wire_protocol.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError, SerializationError, ServeError
+
+__all__ = ["ServeAPIServer", "serve_http"]
+
+_MAX_BODY = 256 * 1024 * 1024  # a spec carries full float64 weights
+
+
+class ServeAPIServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` bound to one :class:`VerificationService`.
+
+    ``port=0`` binds an ephemeral port (read ``server_address`` back).
+    The server only *routes*; it owns neither the service's workers nor
+    its store -- callers start/close the service themselves.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 8717):
+        super().__init__((host, port), _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_http(service, host: str = "127.0.0.1",
+               port: int = 8717) -> ServeAPIServer:
+    """Bind (but do not start) the HTTP server for ``service``."""
+    return ServeAPIServer(service, host=host, port=port)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------ plumbing
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # route logging to the caller's logger, not stderr
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        # A rejected request may have an unread body; on a keep-alive
+        # connection those bytes would be parsed as the next request
+        # line, so error responses always close the connection.
+        self.close_connection = True
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServeError("request body required")
+        if length > _MAX_BODY:
+            raise ServeError(f"request body over {_MAX_BODY} bytes")
+        raw = self.rfile.read(length)
+
+        def _reject_constant(token):
+            # The wire protocol is strict RFC 8259: non-finite floats
+            # travel as "inf"/"-inf"/"nan" *strings*, never as the
+            # Infinity/NaN tokens Python's json would otherwise accept.
+            raise ServeError(
+                f"non-standard JSON token {token!r}; encode non-finite "
+                'floats as the strings "inf"/"-inf"/"nan"')
+
+        try:
+            data = json.loads(raw, parse_constant=_reject_constant)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") \
+                from None
+        if not isinstance(data, dict):
+            raise ServeError("request body must be a JSON object")
+        return data
+
+    def _route(self) -> Tuple[str, Optional[str], Dict]:
+        parts = urlsplit(self.path)
+        segments = [s for s in parts.path.split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        if not segments:
+            return "", None, query
+        if len(segments) == 1:
+            return segments[0], None, query
+        if len(segments) == 2 and segments[0] == "jobs":
+            return "jobs", segments[1], query
+        return "/".join(segments), None, query
+
+    # ------------------------------------------------------------ endpoints
+    def do_GET(self) -> None:  # noqa: N802 - stdlib contract
+        head, job_id, query = self._route()
+        if head == "healthz":
+            stats = self.service.stats()
+            self._send_json(200, {
+                "ok": True,
+                "workers": stats["workers"],
+                "executor": stats["executor"],
+                "jobs": stats["jobs"],
+            })
+        elif head == "stats":
+            self._send_json(200, self.service.stats())
+        elif head == "jobs" and job_id is not None:
+            try:
+                record = self.service.job(job_id)
+            except ServeError as exc:
+                self._error(404, str(exc))  # only "unknown job" raises here
+                return
+            self._send_json(200, record.to_public_dict())
+        elif head == "jobs":
+            try:
+                limit = query.get("limit")
+                records = self.service.jobs(
+                    state=query.get("state"),
+                    limit=None if limit is None else int(limit))
+            except (ServeError, ValueError) as exc:
+                self._error(400, str(exc))  # malformed state/limit filter
+                return
+            self._send_json(200, {
+                "jobs": [r.to_public_dict(include_verdict=False)
+                         for r in records]})
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    @staticmethod
+    def _job_fields(body: Dict) -> Tuple[int, Optional[float]]:
+        """Validate the scheduling fields (reject junk at the door: a bad
+        timeout must fail the submit, not the job hours later)."""
+        priority = body.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServeError(
+                f"priority must be a JSON integer, got {priority!r}")
+        timeout = body.get("timeout")
+        if timeout is not None:
+            # Finiteness matters beyond taste: 1e999 parses to inf, which
+            # would poison the stored record (strict JSON cannot re-emit
+            # it) and mean different things to the two executors.
+            if not isinstance(timeout, (int, float)) \
+                    or isinstance(timeout, bool) or timeout <= 0 \
+                    or not math.isfinite(timeout):
+                raise ServeError(
+                    "timeout must be a positive finite JSON number, got "
+                    f"{timeout!r}")
+            timeout = float(timeout)
+        return priority, timeout
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib contract
+        head, job_id, _ = self._route()
+        if head != "jobs" or job_id is not None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            body = self._read_body()
+            if "spec" not in body:
+                raise ServeError('a job document needs a "spec" key '
+                                 '(see docs/wire_protocol.md)')
+            unknown = set(body) - {"spec", "config", "priority", "timeout"}
+            if unknown:
+                raise ServeError(f"unknown job keys {sorted(unknown)}")
+            priority, timeout = self._job_fields(body)
+            record = self.service.submit(
+                body["spec"],
+                config=body.get("config"),
+                priority=priority,
+                timeout=timeout)
+        except (ServeError, SerializationError, ReproError,
+                ValueError, TypeError, KeyError) as exc:
+            # ValueError/TypeError/KeyError: structurally-plausible specs
+            # that still explode during deserialization (ragged weight
+            # arrays, wrong scalar kinds) must be a 400, not a dropped
+            # connection from a crashed handler.
+            self._error(400, f"{type(exc).__name__}: {exc}")
+            return
+        self._send_json(201, record.to_public_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib contract
+        head, job_id, _ = self._route()
+        if head != "jobs" or job_id is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            state = self.service.cancel(job_id)
+        except ServeError as exc:
+            self._error(404, str(exc))
+            return
+        self._send_json(200, {"job_id": job_id, "state": state})

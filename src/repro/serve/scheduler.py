@@ -1,0 +1,326 @@
+"""The verification service: a scheduler over the job store + executors.
+
+:class:`VerificationService` accepts Specs (objects or wire dicts),
+fingerprints them against the verdict cache, queues misses in the
+persistent :class:`~repro.serve.store.JobStore`, and drains the queue
+with a pool of worker threads, each handing claimed jobs to the
+configured executor (in-process engine or ``verify-spec`` subprocess).
+
+Scheduling is priority-then-FIFO (the store's ``claim_next`` order),
+cancellation is immediate for queued jobs and best-effort for running
+ones (the result is discarded and never cached), and per-job timeouts are
+enforced by the executor (preemptively for subprocesses, post-hoc for
+in-process runs).  A cache hit never touches an executor: the job is
+recorded ``done`` at submission with the cached verdict, its provenance
+re-marked ``cached: true`` so clients can see no new solve happened.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ServeError
+from repro.serve.executors import make_executor
+from repro.serve.store import (
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobRecord,
+    JobStore,
+    job_fingerprint,
+)
+
+__all__ = ["VerificationService"]
+
+
+class VerificationService:
+    """Asynchronous verification: submit Specs now, collect Verdicts later.
+
+    ``store`` is a :class:`JobStore` or a path for one (``":memory:"``
+    for a transient service); ``executor`` an executor instance or name
+    (``"inprocess"`` / ``"subprocess"``); ``workers`` the number of
+    concurrent jobs; ``default_config`` the
+    :class:`~repro.api.config.VerifyConfig` applied to submissions that
+    do not bundle their own.
+    """
+
+    def __init__(self, store: Union[JobStore, str] = ":memory:",
+                 executor: Union[str, object] = "inprocess",
+                 workers: int = 1,
+                 default_config=None,
+                 poll_interval: float = 0.05):
+        if workers < 1:
+            raise ServeError(f"workers must be positive, got {workers}")
+        from repro.api.config import VerifyConfig
+
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        self.executor = make_executor(executor)
+        self.workers = int(workers)
+        self.default_config = default_config or VerifyConfig()
+        self.poll_interval = float(poll_interval)
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._cancel_lock = threading.Lock()
+        self._cancel_requested: set = set()
+        self._stats_lock = threading.Lock()
+        self.executed_jobs = 0
+        self.cache_hits = 0
+        self.worker_errors = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "VerificationService":
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the workers (in-flight jobs finish first) and close the
+        store.  The store stays crash-consistent either way; ``close`` is
+        the polite shutdown, a kill is the recovery test."""
+        self._stop.set()
+        self._wake.set()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+        self.store.close()
+
+    def __enter__(self) -> "VerificationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- submission
+    def submit(self, spec, config=None, priority: int = 0,
+               timeout: Optional[float] = None) -> JobRecord:
+        """Accept one verification request; returns its job record.
+
+        ``spec`` is a Spec object or its wire dict; ``config`` a
+        VerifyConfig, its dict form, or ``None`` for the service default.
+        An identical ``(spec, config)`` already answered by this store is
+        served from the verdict cache instantly -- the returned record is
+        already ``done`` with ``cache_hit`` set and the verdict's
+        provenance marked ``cached``.
+        """
+        from repro.api.config import VerifyConfig
+        from repro.api.specs import Spec, spec_from_dict, spec_to_json
+
+        if isinstance(spec, Spec):
+            spec_obj = spec
+        elif isinstance(spec, dict):
+            spec_obj = spec_from_dict(spec)  # validates + normalises
+        else:
+            raise ServeError(
+                f"submit needs a Spec or its wire dict, got "
+                f"{type(spec).__name__}")
+        if config is None:
+            cfg = self.default_config
+        elif isinstance(config, VerifyConfig):
+            cfg = config
+        elif isinstance(config, dict):
+            cfg = VerifyConfig.from_dict(config)
+        else:
+            raise ServeError(
+                f"submit needs a VerifyConfig or its dict form, got "
+                f"{type(config).__name__}")
+        if timeout is not None and \
+                not (timeout > 0 and math.isfinite(timeout)):
+            # The executors disagree on a non-positive budget (instant
+            # subprocess kill vs full solve discarded late), and an inf
+            # cannot survive the strict-JSON record; reject at the door.
+            raise ServeError(
+                f"job timeout must be positive and finite, got {timeout!r}")
+
+        from repro.api.serialize import config_to_json
+
+        fingerprint = job_fingerprint(spec_obj, cfg)
+        spec_json = spec_to_json(spec_obj, sort_keys=True)
+        config_json = config_to_json(cfg)
+
+        cached = self.store.cache_get(fingerprint)
+        if cached is not None:
+            with self._stats_lock:
+                self.cache_hits += 1
+            return self.store.submit(
+                spec_json, config_json, fingerprint, priority=priority,
+                timeout=timeout, verdict_json=_mark_cached(cached),
+                cache_hit=True)
+        record = self.store.submit(spec_json, config_json, fingerprint,
+                                   priority=priority, timeout=timeout)
+        self._wake.set()
+        return record
+
+    # -------------------------------------------------------------- queries
+    def job(self, job_id: str) -> JobRecord:
+        return self.store.get(job_id)
+
+    def jobs(self, state: Optional[str] = None,
+             limit: Optional[int] = None) -> List[JobRecord]:
+        return self.store.list_jobs(state=state, limit=limit)
+
+    def wait(self, job_id: str, timeout: Optional[float] = 60.0,
+             poll: float = 0.02) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.store.get(job_id)
+            if record.terminal:
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.state} after {timeout:g}s")
+            time.sleep(poll)
+
+    def verdict(self, job_id: str):
+        """The finished job's :class:`~repro.api.verdict.Verdict` object."""
+        from repro.api.serialize import verdict_from_json
+
+        record = self.store.get(job_id)
+        if record.verdict_json is None:
+            raise ServeError(
+                f"job {job_id} has no verdict (state {record.state!r}"
+                + (f", error {record.error!r}" if record.error else "") + ")")
+        return verdict_from_json(record.verdict_json)
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job; returns its state afterwards.  Queued jobs are
+        cancelled immediately; running jobs best-effort (the executor is
+        not interrupted, but the result is discarded and never cached)."""
+        state = self.store.cancel_queued(job_id)
+        if state == JOB_RUNNING:
+            with self._cancel_lock:
+                self._cancel_requested.add(job_id)
+            # The job may have gone terminal between the state read and
+            # the flag: the worker's own cleanup has then already run, so
+            # drop the flag here (otherwise it would leak forever) and
+            # report the real final state.
+            current = self.store.get(job_id).state
+            if current != JOB_RUNNING:
+                self._clear_cancel(job_id)
+                return current
+        return state
+
+    def stats(self) -> Dict:
+        counts = self.store.counts()
+        with self._stats_lock:
+            executed, cache_hits = self.executed_jobs, self.cache_hits
+            worker_errors = self.worker_errors
+        return {
+            "jobs": counts,
+            "queued": counts[JOB_QUEUED],
+            "running": counts[JOB_RUNNING],
+            "executed_jobs": executed,
+            "cache_hits": cache_hits,
+            "worker_errors": worker_errors,
+            "verdict_cache": self.store.cache_stats(),
+            "recovered_jobs": self.store.recovered_jobs,
+            "workers": self.workers,
+            "executor": self.executor.name,
+        }
+
+    # -------------------------------------------------------------- workers
+    def _cancelled(self, job_id: str) -> bool:
+        with self._cancel_lock:
+            return job_id in self._cancel_requested
+
+    def _clear_cancel(self, job_id: str) -> None:
+        with self._cancel_lock:
+            self._cancel_requested.discard(job_id)
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                record = self.store.claim_next()
+            except Exception:
+                # A transient store error (sqlite busy, disk hiccup) must
+                # not kill the worker -- a dead thread would silently
+                # degrade the service while /healthz still reports ok.
+                # Count it and back off (mid-shutdown: bow out quietly).
+                if self._stop.is_set():
+                    return
+                with self._stats_lock:
+                    self.worker_errors += 1
+                self._stop.wait(self.poll_interval)
+                continue
+            if record is None:
+                self._wake.wait(self.poll_interval)
+                self._wake.clear()
+                continue
+            try:
+                self._run_job(record)
+            except Exception:
+                # _run_job contains per-job errors itself; reaching here
+                # means a *store transition* failed.  Same policy: count,
+                # back off, keep the worker alive.
+                if self._stop.is_set():
+                    return
+                with self._stats_lock:
+                    self.worker_errors += 1
+                self._stop.wait(self.poll_interval)
+
+    def _run_job(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        try:
+            if self._cancelled(job_id):
+                self.store.mark_cancelled(job_id)
+                return
+            # A duplicate of a job that *finished while this one queued*
+            # is answered from the cache here instead of re-solving (the
+            # submit-time check can only see verdicts that existed then;
+            # concurrently-running duplicates still race — acceptable:
+            # first writer wins the cache either way).
+            cached = self.store.cache_get(record.fingerprint)
+            if cached is not None:
+                with self._stats_lock:
+                    self.cache_hits += 1
+                self.store.finish(job_id, _mark_cached(cached),
+                                  cache_hit=True)
+                return
+            try:
+                verdict_dict = self.executor.execute(
+                    record.spec_json, record.config_json,
+                    timeout=record.timeout)
+            except TimeoutError as exc:
+                self.store.fail(job_id, f"TimeoutError: {exc}")
+                return
+            except Exception as exc:  # noqa: BLE001 - must not kill workers
+                self.store.fail(job_id, f"{type(exc).__name__}: {exc}")
+                return
+            finally:
+                with self._stats_lock:
+                    self.executed_jobs += 1
+            verdict_json = json.dumps(verdict_dict, allow_nan=False,
+                                      sort_keys=True)
+            if self._cancelled(job_id):
+                # Cancelled while running: discard, crucially never cache.
+                self.store.mark_cancelled(job_id)
+                return
+            self.store.finish(job_id, verdict_json)
+            self.store.cache_put(record.fingerprint, verdict_json)
+        finally:
+            # The job is terminal either way: drop any cancel flag so a
+            # long-lived service never accumulates them (cancel() only
+            # flags *running* jobs, so nothing re-adds it after this).
+            self._clear_cancel(job_id)
+
+
+def _mark_cached(verdict_json: str) -> str:
+    """Re-mark a cached verdict's provenance before replaying it."""
+    data = json.loads(verdict_json)
+    provenance = data.setdefault("provenance", {})
+    provenance["cached"] = True
+    return json.dumps(data, allow_nan=False, sort_keys=True)

@@ -1,0 +1,394 @@
+"""The persistent job store: SQLite-backed queue + verdict cache.
+
+One row per job, carrying the full wire form of the request (Spec JSON +
+VerifyConfig JSON, exactly what ``repro verify-spec`` consumes) and the
+job's life cycle through the state machine::
+
+    queued -> running -> done
+                      -> failed
+    queued ----------> cancelled      (running jobs cancel best-effort)
+
+Everything is committed at each transition, so a crash at any point loses
+no accepted job: jobs found ``running`` when the store is reopened were
+in flight inside a dead process and are *requeued exactly once per crash*
+(``recovered_jobs`` reports how many).  A claim bumps ``attempts``; jobs
+repeatedly killed mid-run are failed at ``max_attempts`` instead of
+crash-looping forever.
+
+The verdict cache is a second table keyed by the canonical-JSON
+fingerprint of ``(spec, config)`` (:func:`job_fingerprint`): resubmitting
+an identical request is answered from the cache without touching a
+solver.  Only ``done`` verdicts are ever cached -- failures, timeouts and
+cancellations never poison it.
+
+The store is thread-safe (one connection, one lock) and deliberately
+speaks *strings* (the wire forms), not Spec/Verdict objects, so the
+scheduler can hand jobs to out-of-process executors without the store
+ever importing solver code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ServeError
+
+__all__ = [
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_CANCELLED",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "job_fingerprint",
+    "JobRecord",
+    "JobStore",
+]
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+TERMINAL_STATES = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED})
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    seq          INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id       TEXT UNIQUE NOT NULL,
+    fingerprint  TEXT NOT NULL,
+    spec_json    TEXT NOT NULL,
+    config_json  TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    timeout      REAL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    verdict_json TEXT,
+    error        TEXT,
+    cache_hit    INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state
+    ON jobs (state, priority DESC, seq ASC);
+CREATE TABLE IF NOT EXISTS verdict_cache (
+    fingerprint  TEXT PRIMARY KEY,
+    verdict_json TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    hits         INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+#: Salt mixed into every job fingerprint.  The verdict cache can outlive
+#: the code that filled it (a persistent ``--db`` across upgrades), so a
+#: solver change that can alter any verdict value MUST bump this -- old
+#: cache entries then simply miss and re-solve under the new code.
+FINGERPRINT_VERSION = 1
+
+
+def job_fingerprint(spec, config) -> str:
+    """The canonical identity of one verification request.
+
+    SHA-256 over the sorted-keys JSON of ``{"v": FINGERPRINT_VERSION,
+    "config": ..., "spec": ...}`` -- exactly the value equality Specs
+    already define (canonical JSON), extended with *every* solver knob.
+    Matching fingerprints guarantee identical verdict values (within one
+    ``FINGERPRINT_VERSION``); the converse is deliberately not promised:
+    the hash is conservatively over-precise (e.g. ``workers=2`` vs ``8``
+    provably cannot change a frontier verdict, but ``1`` vs ``2`` selects
+    a different search algorithm, so no knob is exempted -- a spurious
+    cache miss merely re-solves, while a spurious hit would be unsound).
+    """
+    from repro.api.specs import Spec, spec_from_dict, spec_to_dict
+
+    if not isinstance(spec, Spec):
+        # Normalise a raw wire dict through the Spec layer so cosmetic
+        # differences (ints for floats, list shapes) cannot produce a
+        # second fingerprint for the same request value.
+        spec = spec_from_dict(spec)
+    canonical = json.dumps(
+        {"v": FINGERPRINT_VERSION, "config": config.to_dict(),
+         "spec": spec_to_dict(spec)},
+        sort_keys=True, allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """One job row, as plain values (wire strings, not solver objects)."""
+
+    job_id: str
+    fingerprint: str
+    spec_json: str
+    config_json: str
+    state: str
+    priority: int
+    timeout: Optional[float]
+    attempts: int
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    verdict_json: Optional[str]
+    error: Optional[str]
+    cache_hit: bool
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_public_dict(self, include_verdict: bool = True) -> Dict:
+        """The HTTP/CLI JSON shape of this job (documented in
+        ``docs/wire_protocol.md``)."""
+        data: Dict = {
+            "job_id": self.job_id,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+        }
+        if include_verdict:
+            data["verdict"] = (None if self.verdict_json is None
+                               else json.loads(self.verdict_json))
+        return data
+
+
+_ROW_COLUMNS = ("job_id, fingerprint, spec_json, config_json, state, "
+                "priority, timeout, attempts, submitted_at, started_at, "
+                "finished_at, verdict_json, error, cache_hit")
+
+
+def _record(row) -> JobRecord:
+    return JobRecord(
+        job_id=row[0], fingerprint=row[1], spec_json=row[2],
+        config_json=row[3], state=row[4], priority=int(row[5]),
+        timeout=row[6], attempts=int(row[7]), submitted_at=row[8],
+        started_at=row[9], finished_at=row[10], verdict_json=row[11],
+        error=row[12], cache_hit=bool(row[13]),
+    )
+
+
+class JobStore:
+    """SQLite-backed persistent job queue + verdict cache (thread-safe)."""
+
+    def __init__(self, path: str = ":memory:", max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ServeError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.path = path
+        self.max_attempts = max_attempts
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        #: Jobs found mid-``running`` on open (a previous process died
+        #: with them in flight) and requeued -- exactly once per crash.
+        self.recovered_jobs = self._recover()
+
+    # ------------------------------------------------------------- lifecycle
+    def _recover(self) -> int:
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, started_at = NULL "
+                "WHERE state = ?", (JOB_QUEUED, JOB_RUNNING))
+            self._conn.commit()
+            return cursor.rowcount
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- submission
+    def submit(self, spec_json: str, config_json: str, fingerprint: str,
+               priority: int = 0, timeout: Optional[float] = None,
+               verdict_json: Optional[str] = None,
+               cache_hit: bool = False) -> JobRecord:
+        """Accept one job.  With ``verdict_json`` the job is recorded
+        already-``done`` (the scheduler's cache-hit path: the answer is
+        known before any executor runs)."""
+        now = time.time()
+        state = JOB_DONE if verdict_json is not None else JOB_QUEUED
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO jobs (job_id, fingerprint, spec_json, "
+                "config_json, state, priority, timeout, submitted_at, "
+                "finished_at, verdict_json, cache_hit) "
+                "VALUES ('', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (fingerprint, spec_json, config_json, state, int(priority),
+                 timeout, now,
+                 now if verdict_json is not None else None,
+                 verdict_json, int(cache_hit)))
+            seq = cursor.lastrowid
+            job_id = f"job-{seq:08d}"
+            self._conn.execute(
+                "UPDATE jobs SET job_id = ? WHERE seq = ?", (job_id, seq))
+            self._conn.commit()
+        return self.get(job_id)
+
+    # ------------------------------------------------------------- queries
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_ROW_COLUMNS} FROM jobs WHERE job_id = ?",
+                (job_id,)).fetchone()
+        if row is None:
+            raise ServeError(f"unknown job {job_id!r}")
+        return _record(row)
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: Optional[int] = None) -> List[JobRecord]:
+        if state is not None and state not in JOB_STATES:
+            raise ServeError(
+                f"unknown job state {state!r}; known: {JOB_STATES}")
+        query = f"SELECT {_ROW_COLUMNS} FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY seq ASC"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [_record(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: number of jobs}`` over every known state."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state").fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        counts.update({state: int(n) for state, n in rows})
+        return counts
+
+    # ----------------------------------------------------------- scheduling
+    def claim_next(self) -> Optional[JobRecord]:
+        """Atomically pop the next runnable job: highest priority first,
+        FIFO within a priority.  Jobs already claimed ``max_attempts``
+        times (crash-looped) are failed instead of handed out again."""
+        while True:
+            with self._lock:
+                row = self._conn.execute(
+                    f"SELECT {_ROW_COLUMNS} FROM jobs WHERE state = ? "
+                    "ORDER BY priority DESC, seq ASC LIMIT 1",
+                    (JOB_QUEUED,)).fetchone()
+                if row is None:
+                    return None
+                record = _record(row)
+                if record.attempts >= self.max_attempts:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, finished_at = ?, "
+                        "error = ? WHERE job_id = ?",
+                        (JOB_FAILED, time.time(),
+                         f"gave up after {record.attempts} crashed attempts",
+                         record.job_id))
+                    self._conn.commit()
+                    continue
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, started_at = ?, "
+                    "attempts = attempts + 1 WHERE job_id = ?",
+                    (JOB_RUNNING, time.time(), record.job_id))
+                self._conn.commit()
+            return self.get(record.job_id)
+
+    def _transition(self, job_id: str, from_state: str, to_state: str,
+                    verdict_json: Optional[str] = None,
+                    error: Optional[str] = None,
+                    cache_hit: bool = False) -> None:
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, "
+                "verdict_json = ?, error = ?, cache_hit = MAX(cache_hit, ?) "
+                "WHERE job_id = ? AND state = ?",
+                (to_state, time.time(), verdict_json, error, int(cache_hit),
+                 job_id, from_state))
+            self._conn.commit()
+        if cursor.rowcount != 1:
+            raise ServeError(
+                f"job {job_id!r} is not {from_state!r} "
+                f"(cannot move to {to_state!r})")
+
+    def finish(self, job_id: str, verdict_json: str,
+               cache_hit: bool = False) -> None:
+        """Record a done verdict; ``cache_hit`` marks a job answered from
+        the verdict cache at claim time (submit-time hits are recorded
+        already-done by :meth:`submit`)."""
+        self._transition(job_id, JOB_RUNNING, JOB_DONE,
+                         verdict_json=verdict_json, cache_hit=cache_hit)
+
+    def fail(self, job_id: str, error: str) -> None:
+        self._transition(job_id, JOB_RUNNING, JOB_FAILED, error=error)
+
+    def mark_cancelled(self, job_id: str) -> None:
+        """A *running* job whose result was discarded post-cancellation."""
+        self._transition(job_id, JOB_RUNNING, JOB_CANCELLED,
+                         error="cancelled while running; result discarded")
+
+    def cancel_queued(self, job_id: str) -> str:
+        """Cancel a job if it is still queued; returns the job's state
+        afterwards (``running``/terminal states are left untouched -- the
+        scheduler handles best-effort cancellation of running jobs)."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ? "
+                "WHERE job_id = ? AND state = ?",
+                (JOB_CANCELLED, time.time(), "cancelled while queued",
+                 job_id, JOB_QUEUED))
+            self._conn.commit()
+            if cursor.rowcount == 1:
+                return JOB_CANCELLED
+        return self.get(job_id).state
+
+    # -------------------------------------------------------- verdict cache
+    def cache_get(self, fingerprint: str) -> Optional[str]:
+        """The cached verdict JSON for a fingerprint (bumping the hit
+        counter), or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT verdict_json FROM verdict_cache WHERE fingerprint = ?",
+                (fingerprint,)).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE verdict_cache SET hits = hits + 1 "
+                "WHERE fingerprint = ?", (fingerprint,))
+            self._conn.commit()
+        return row[0]
+
+    def cache_put(self, fingerprint: str, verdict_json: str) -> None:
+        """Record a *successful* verdict (first writer wins; identical
+        fingerprints produce identical verdict values by construction)."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO verdict_cache "
+                "(fingerprint, verdict_json, created_at) VALUES (?, ?, ?)",
+                (fingerprint, verdict_json, time.time()))
+            self._conn.commit()
+
+    def cache_stats(self) -> Dict[str, int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(hits), 0) "
+                "FROM verdict_cache").fetchone()
+        return {"entries": int(row[0]), "hits": int(row[1])}

@@ -333,6 +333,54 @@ class TestSubmit:
         verdicts = _engine(4).submit(bag)
         assert [v.spec_type for v in verdicts] == [s.spec_type for s in bag]
 
+    @pytest.mark.parametrize("workers", (1, 2, 8))
+    def test_mixed_good_bad_batch_yields_failed_verdicts(self, fig2,
+                                                         enlarged_box2,
+                                                         workers):
+        """Satellite: per-spec errors become FailedVerdict entries in
+        their slots instead of losing the rest of the batch."""
+        from repro.api import FailedVerdict
+
+        bad = ContainmentSpec(network=fig2,
+                              input_box=Box(-np.ones(5), np.ones(5)),
+                              target=Box(-np.ones(1), np.ones(1)))
+        bag = self._bag(fig2, enlarged_box2)
+        mixed = [bag[0], bad, bag[1], bad, bag[2]]
+        verdicts = _engine(workers).submit(mixed)
+        assert len(verdicts) == len(mixed)
+        for i in (1, 3):
+            assert isinstance(verdicts[i], FailedVerdict)
+            assert verdicts[i].holds is None
+            assert verdicts[i].error_type == "ShapeError"
+            assert verdicts[i].spec_type == "containment"
+        for i in (0, 2, 4):
+            assert not isinstance(verdicts[i], FailedVerdict)
+            solo = _engine(workers).verify(mixed[i])
+            assert verdicts[i].holds == solo.holds
+
+    @pytest.mark.parametrize("workers", (1, 2, 8))
+    def test_expired_timeout_fails_whole_batch(self, fig2, enlarged_box2,
+                                               workers):
+        from repro.api import FailedVerdict
+
+        bag = self._bag(fig2, enlarged_box2)
+        verdicts = _engine(workers).submit(bag, timeout=-1.0)
+        assert len(verdicts) == len(bag)
+        for spec, verdict in zip(bag, verdicts):
+            assert isinstance(verdict, FailedVerdict)
+            assert verdict.error_type == "TimeoutError"
+            assert verdict.spec_type == spec.spec_type
+
+    @pytest.mark.parametrize("workers", (1, 2, 8))
+    def test_generous_timeout_changes_nothing(self, fig2, enlarged_box2,
+                                              workers):
+        from repro.api import FailedVerdict
+
+        bag = self._bag(fig2, enlarged_box2)
+        verdicts = _engine(workers).submit(bag, timeout=600.0)
+        assert [v.spec_type for v in verdicts] == [s.spec_type for s in bag]
+        assert not any(isinstance(v, FailedVerdict) for v in verdicts)
+
 
 # ========================================================== JSON round-trip
 class TestSpecRoundTrip:

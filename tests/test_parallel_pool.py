@@ -1,0 +1,154 @@
+"""Shared-pool lifecycle: the atexit drain (long-lived services must not
+let in-flight work outlive interpreter teardown) and ``run_parallel``
+deadline semantics."""
+
+import atexit
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import parallel
+from repro.core.parallel import (
+    TIMED_OUT,
+    drain_shared_pool,
+    reserved_width,
+    run_parallel,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+class TestDrainSharedPool:
+    def test_registered_with_atexit(self):
+        # atexit offers no public introspection; the unregister round-trip
+        # is the documented way to probe registration.
+        assert atexit.unregister(drain_shared_pool) is None
+        atexit.register(drain_shared_pool)  # put it back
+
+    def test_drain_waits_for_in_flight_work(self):
+        done = threading.Event()
+
+        def slow():
+            time.sleep(0.3)
+            done.set()
+
+        pool = parallel._shared_pool()
+        pool.submit(slow)
+        drain_shared_pool()
+        # shutdown(wait=True): by the time drain returns, the task ran.
+        assert done.is_set()
+
+    def test_pool_lazily_recreated_after_drain(self):
+        drain_shared_pool()
+        out = run_parallel([("x", lambda: 41), ("y", lambda: 1)], workers=1)
+        assert [v for _, v, _ in out] == [41, 1]
+
+    def test_drain_is_idempotent(self):
+        drain_shared_pool()
+        drain_shared_pool()
+
+    def test_interpreter_exit_drains_in_flight_work(self, tmp_path):
+        """Regression: work submitted to the shared pool right before
+        interpreter exit still completes (the atexit drain waits)."""
+        marker = tmp_path / "done.txt"
+        script = (
+            "import time\n"
+            "from repro.core.parallel import _shared_pool\n"
+            "def work():\n"
+            "    time.sleep(0.3)\n"
+            f"    open({str(marker)!r}, 'w').write('done')\n"
+            "_shared_pool().submit(work)\n"
+            # exit immediately: without the drain this races teardown
+        )
+        proc = subprocess.run([sys.executable, "-c", script],
+                              env={"PYTHONPATH": SRC},
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        assert marker.read_text() == "done"
+
+
+class TestRunParallelDeadline:
+    def test_no_timeout_keeps_barrier_semantics(self):
+        out = run_parallel([("a", lambda: 1), ("b", lambda: 2)], workers=2)
+        assert [(n, v) for n, v, _ in out] == [("a", 1), ("b", 2)]
+        assert reserved_width() == 0
+
+    def test_expired_deadline_times_everything_out(self):
+        out = run_parallel([("a", lambda: 1), ("b", lambda: 2)],
+                           workers=2, timeout=-1.0)
+        assert [v for _, v, _ in out] == [TIMED_OUT, TIMED_OUT]
+
+    def test_deadline_returns_promptly_and_keeps_order(self):
+        release = threading.Event()
+        started = time.monotonic()
+        out = run_parallel(
+            [("fast", lambda: 7),
+             ("slow", lambda: release.wait(5) and 8)],
+            workers=2, timeout=0.3)
+        elapsed = time.monotonic() - started
+        release.set()
+        assert elapsed < 3.0
+        assert [n for n, _, _ in out] == ["fast", "slow"]
+        values = {n: v for n, v, _ in out}
+        assert values["fast"] == 7
+        assert values["slow"] is TIMED_OUT
+
+    def test_reservation_returned_after_stragglers_finish(self):
+        release = threading.Event()
+        run_parallel([("slow", lambda: release.wait(5))],
+                     workers=1, timeout=0.1)
+        release.set()
+        assert _wait_for(lambda: reserved_width() == 0)
+
+    def test_exceptions_still_propagate_without_timeout(self):
+        def boom():
+            raise ValueError("kaput")
+
+        with pytest.raises(ValueError, match="kaput"):
+            run_parallel([("boom", boom)], workers=2)
+        assert reserved_width() == 0
+
+    def test_private_pool_deadline_cancels_unstarted_tasks(self,
+                                                           monkeypatch):
+        """On the private-pool path a deadline must *cancel* queued tasks
+        it just reported TIMED_OUT -- not let them burn CPU anyway."""
+        monkeypatch.setattr(parallel, "_POOL_SIZE", 1)  # force the path
+        started = []
+        release = threading.Event()
+
+        def task(i):
+            started.append(i)
+            release.wait(5)
+            return i
+
+        tasks = [(f"t{i}", (lambda i=i: task(i))) for i in range(4)]
+        out = run_parallel(tasks, workers=2, timeout=0.3)
+        timed_out = [n for n, v, _ in out if v is TIMED_OUT]
+        assert len(timed_out) >= 2  # the queued tail missed the deadline
+        release.set()
+        time.sleep(0.3)  # cancelled futures must never start late
+        assert len(started) <= 2, started
+
+    def test_task_raising_timeouterror_is_not_misread_as_deadline(self):
+        """On 3.11+ concurrent.futures.TimeoutError aliases the builtin;
+        a task *raising* TimeoutError under a generous deadline must
+        propagate as the task's error, not be swallowed as TIMED_OUT."""
+        def flaky():
+            raise TimeoutError("socket timed out")
+
+        with pytest.raises(TimeoutError, match="socket timed out"):
+            run_parallel([("flaky", flaky)], workers=2, timeout=60.0)
+        assert _wait_for(lambda: reserved_width() == 0)

@@ -1,0 +1,661 @@
+"""The asynchronous verification service: job store, scheduler, verdict
+cache, crash recovery, HTTP front end, executors, and the CLI twins."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ContainmentSpec,
+    MaximizeSpec,
+    VerificationEngine,
+    VerifyConfig,
+    canonical_verdict_json,
+    config_to_json,
+    spec_to_dict,
+    spec_to_json,
+    verdict_from_dict,
+)
+from repro.cli import main as cli_main
+from repro.domains import Box
+from repro.errors import ServeError
+from repro.serve import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobStore,
+    ServeClient,
+    SubprocessExecutor,
+    VerificationService,
+    job_fingerprint,
+    serve_http,
+)
+
+
+@pytest.fixture
+def maximize_spec(fig2, enlarged_box2):
+    return MaximizeSpec(network=fig2, input_box=enlarged_box2,
+                        objective=np.array([1.0]))
+
+
+@pytest.fixture
+def bad_spec(fig2):
+    """Deserializes fine but raises at solve time (dim mismatch)."""
+    return ContainmentSpec(network=fig2,
+                           input_box=Box(-np.ones(5), np.ones(5)),
+                           target=Box(-np.ones(1), np.ones(1)))
+
+
+def _wire(spec):
+    return spec_to_json(spec, sort_keys=True)
+
+
+_CONFIG_JSON = config_to_json(VerifyConfig())
+
+
+def _queue_job(store, spec, priority=0, timeout=None, config=_CONFIG_JSON):
+    return store.submit(_wire(spec), config,
+                        job_fingerprint(spec, VerifyConfig()),
+                        priority=priority, timeout=timeout)
+
+
+class TestJobFingerprint:
+    def test_same_request_same_fingerprint(self, maximize_spec):
+        config = VerifyConfig()
+        assert job_fingerprint(maximize_spec, config) == \
+            job_fingerprint(maximize_spec, config)
+        # The wire dict fingerprints identically to the Spec object.
+        assert job_fingerprint(spec_to_dict(maximize_spec), config) == \
+            job_fingerprint(maximize_spec, config)
+
+    def test_config_changes_fingerprint(self, maximize_spec):
+        assert job_fingerprint(maximize_spec, VerifyConfig()) != \
+            job_fingerprint(maximize_spec, VerifyConfig(workers=2))
+
+    def test_spec_changes_fingerprint(self, maximize_spec, fig2,
+                                      unit_box2):
+        other = MaximizeSpec(network=fig2, input_box=unit_box2,
+                             objective=np.array([1.0]))
+        assert job_fingerprint(maximize_spec, VerifyConfig()) != \
+            job_fingerprint(other, VerifyConfig())
+
+
+class TestJobStore:
+    def test_submit_get_roundtrip(self, maximize_spec):
+        with JobStore() as store:
+            record = _queue_job(store, maximize_spec, priority=5,
+                                timeout=30.0)
+            assert record.state == JOB_QUEUED
+            assert record.priority == 5
+            assert record.timeout == 30.0
+            assert record.attempts == 0
+            clone = store.get(record.job_id)
+            assert clone == record
+
+    def test_unknown_job_raises(self):
+        with JobStore() as store:
+            with pytest.raises(ServeError, match="unknown job"):
+                store.get("job-99999999")
+
+    def test_claim_priority_then_fifo(self, maximize_spec):
+        with JobStore() as store:
+            low1 = _queue_job(store, maximize_spec, priority=0)
+            high = _queue_job(store, maximize_spec, priority=9)
+            low2 = _queue_job(store, maximize_spec, priority=0)
+            order = [store.claim_next().job_id for _ in range(3)]
+            assert order == [high.job_id, low1.job_id, low2.job_id]
+            assert store.claim_next() is None
+
+    def test_claim_marks_running_and_attempts(self, maximize_spec):
+        with JobStore() as store:
+            record = _queue_job(store, maximize_spec)
+            claimed = store.claim_next()
+            assert claimed.job_id == record.job_id
+            assert claimed.state == JOB_RUNNING
+            assert claimed.attempts == 1
+            assert claimed.started_at is not None
+
+    def test_finish_and_fail_transitions(self, maximize_spec):
+        with JobStore() as store:
+            a = _queue_job(store, maximize_spec)
+            b = _queue_job(store, maximize_spec)
+            store.claim_next()
+            store.claim_next()
+            store.finish(a.job_id, '{"verdict": "maximize"}')
+            store.fail(b.job_id, "boom")
+            assert store.get(a.job_id).state == JOB_DONE
+            assert store.get(a.job_id).verdict_json == \
+                '{"verdict": "maximize"}'
+            failed = store.get(b.job_id)
+            assert failed.state == JOB_FAILED
+            assert failed.error == "boom"
+            counts = store.counts()
+            assert counts[JOB_DONE] == 1 and counts[JOB_FAILED] == 1
+
+    def test_invalid_transition_raises(self, maximize_spec):
+        with JobStore() as store:
+            record = _queue_job(store, maximize_spec)
+            with pytest.raises(ServeError, match="not 'running'"):
+                store.finish(record.job_id, "{}")
+
+    def test_cancel_queued_only(self, maximize_spec):
+        with JobStore() as store:
+            record = _queue_job(store, maximize_spec)
+            assert store.cancel_queued(record.job_id) == JOB_CANCELLED
+            # Terminal states are left untouched.
+            assert store.cancel_queued(record.job_id) == JOB_CANCELLED
+            running = _queue_job(store, maximize_spec)
+            store.claim_next()
+            assert store.cancel_queued(running.job_id) == JOB_RUNNING
+
+    def test_list_jobs_filter_validates(self, maximize_spec):
+        with JobStore() as store:
+            _queue_job(store, maximize_spec)
+            assert len(store.list_jobs(state=JOB_QUEUED)) == 1
+            assert store.list_jobs(state=JOB_DONE) == []
+            with pytest.raises(ServeError, match="unknown job state"):
+                store.list_jobs(state="paused")
+
+    def test_verdict_cache(self):
+        with JobStore() as store:
+            assert store.cache_get("fp") is None
+            store.cache_put("fp", '{"verdict": "x"}')
+            assert store.cache_get("fp") == '{"verdict": "x"}'
+            store.cache_put("fp", '{"verdict": "y"}')  # first writer wins
+            assert store.cache_get("fp") == '{"verdict": "x"}'
+            assert store.cache_stats() == {"entries": 1, "hits": 2}
+
+    def test_crash_loop_gives_up_at_max_attempts(self, tmp_path,
+                                                 maximize_spec):
+        path = str(tmp_path / "jobs.sqlite")
+        with JobStore(path, max_attempts=2) as store:
+            record = _queue_job(store, maximize_spec)
+        for _ in range(2):  # two crashes mid-running
+            with JobStore(path, max_attempts=2) as store:
+                assert store.claim_next().job_id == record.job_id
+        with JobStore(path, max_attempts=2) as store:
+            assert store.claim_next() is None
+            failed = store.get(record.job_id)
+            assert failed.state == JOB_FAILED
+            assert "gave up" in failed.error
+
+
+class TestCrashRecovery:
+    """Satellite: kill a store mid-``running``, reopen, requeue once."""
+
+    def test_running_jobs_requeued_exactly_once(self, tmp_path,
+                                                maximize_spec):
+        path = str(tmp_path / "jobs.sqlite")
+        store = JobStore(path)
+        running = _queue_job(store, maximize_spec)
+        untouched = _queue_job(store, maximize_spec)
+        assert store.claim_next().job_id == running.job_id
+        store.close()  # simulated crash: the running job was in flight
+
+        reopened = JobStore(path)
+        assert reopened.recovered_jobs == 1
+        recovered = reopened.get(running.job_id)
+        assert recovered.state == JOB_QUEUED
+        assert recovered.started_at is None
+        assert recovered.attempts == 1  # the crashed claim stays counted
+        assert reopened.get(untouched.job_id).state == JOB_QUEUED
+        reopened.close()
+
+        # A second clean reopen finds nothing to recover: exactly once.
+        again = JobStore(path)
+        assert again.recovered_jobs == 0
+        assert again.get(running.job_id).state == JOB_QUEUED
+        again.close()
+
+    def test_crash_leaves_verdict_cache_unpoisoned(self, tmp_path,
+                                                   maximize_spec):
+        path = str(tmp_path / "jobs.sqlite")
+        store = JobStore(path)
+        record = _queue_job(store, maximize_spec)
+        store.claim_next()
+        store.close()  # crash before any verdict existed
+
+        reopened = JobStore(path)
+        assert reopened.cache_stats()["entries"] == 0
+        assert reopened.cache_get(record.fingerprint) is None
+        reopened.close()
+
+    def test_terminal_jobs_survive_restart(self, tmp_path, maximize_spec):
+        path = str(tmp_path / "jobs.sqlite")
+        with JobStore(path) as store:
+            record = _queue_job(store, maximize_spec)
+            store.claim_next()
+            store.finish(record.job_id, '{"verdict": "maximize"}')
+            store.cache_put(record.fingerprint, '{"verdict": "maximize"}')
+        with JobStore(path) as store:
+            assert store.recovered_jobs == 0
+            clone = store.get(record.job_id)
+            assert clone.state == JOB_DONE
+            assert clone.verdict_json == '{"verdict": "maximize"}'
+            assert store.cache_get(record.fingerprint) is not None
+
+
+class TestVerificationService:
+    def test_served_verdict_matches_direct_engine(self, maximize_spec):
+        direct = VerificationEngine(VerifyConfig()).verify(maximize_spec)
+        with VerificationService(workers=2) as service:
+            job = service.submit(maximize_spec)
+            record = service.wait(job.job_id, timeout=30)
+            assert record.state == JOB_DONE
+            served = service.verdict(job.job_id)
+        assert canonical_verdict_json(served) == \
+            canonical_verdict_json(direct)
+        assert served.provenance.cached is False
+
+    def test_resubmission_hits_verdict_cache(self, maximize_spec):
+        with VerificationService(workers=1) as service:
+            first = service.submit(maximize_spec)
+            service.wait(first.job_id, timeout=30)
+            executed_before = service.stats()["executed_jobs"]
+            second = service.submit(maximize_spec)
+            # Answered at submission: already done, no executor involved.
+            assert second.state == JOB_DONE
+            assert second.cache_hit is True
+            verdict = service.verdict(second.job_id)
+            assert verdict.provenance.cached is True
+            assert service.stats()["executed_jobs"] == executed_before
+            assert canonical_verdict_json(verdict) == \
+                canonical_verdict_json(service.verdict(first.job_id))
+
+    def test_cache_respects_config_identity(self, maximize_spec):
+        with VerificationService(workers=1) as service:
+            first = service.submit(maximize_spec)
+            service.wait(first.job_id, timeout=30)
+            other = service.submit(maximize_spec,
+                                   config=VerifyConfig(workers=2))
+            assert other.cache_hit is False
+
+    def test_failed_spec_reported_not_cached(self, bad_spec):
+        with VerificationService(workers=1) as service:
+            job = service.submit(bad_spec)
+            record = service.wait(job.job_id, timeout=30)
+            assert record.state == JOB_FAILED
+            assert "ShapeError" in record.error
+            assert service.store.cache_stats()["entries"] == 0
+            with pytest.raises(ServeError, match="no verdict"):
+                service.verdict(job.job_id)
+
+    def test_submit_validates_inputs(self, maximize_spec):
+        with VerificationService() as service:
+            with pytest.raises(ServeError, match="Spec or its wire dict"):
+                service.submit("not-a-spec")
+            with pytest.raises(ServeError, match="VerifyConfig"):
+                service.submit(maximize_spec, config="fast please")
+
+    def test_cancel_queued_job_never_runs(self, maximize_spec):
+        service = VerificationService(workers=1)  # not started
+        job = service.submit(maximize_spec)
+        assert service.cancel(job.job_id) == JOB_CANCELLED
+        service.start()
+        time.sleep(0.2)
+        record = service.job(job.job_id)
+        assert record.state == JOB_CANCELLED
+        assert service.stats()["executed_jobs"] == 0
+        service.close()
+
+    def test_priority_orders_execution(self, fig2, enlarged_box2):
+        specs = [MaximizeSpec(network=fig2, input_box=enlarged_box2,
+                              objective=np.array([float(k)]))
+                 for k in (1, 2, 3)]
+        service = VerificationService(workers=1)  # queue first, run later
+        low = service.submit(specs[0], priority=0)
+        mid = service.submit(specs[1], priority=1)
+        high = service.submit(specs[2], priority=2)
+        service.start()
+        records = [service.wait(job.job_id, timeout=30)
+                   for job in (low, mid, high)]
+        service.close()
+        finished = {r.job_id: r.finished_at for r in records}
+        assert finished[high.job_id] <= finished[mid.job_id] \
+            <= finished[low.job_id]
+
+    def test_in_process_timeout_fails_job(self, maximize_spec):
+        with VerificationService(workers=1) as service:
+            # The smallest positive budget: any real solve exceeds 1 ns.
+            job = service.submit(maximize_spec, timeout=1e-9)
+            record = service.wait(job.job_id, timeout=30)
+            assert record.state == JOB_FAILED
+            assert "TimeoutError" in record.error
+            # Timed-out work must never poison the verdict cache.
+            assert service.store.cache_stats()["entries"] == 0
+
+    def test_non_positive_timeout_rejected_at_submit(self, maximize_spec):
+        with VerificationService(workers=1) as service:
+            with pytest.raises(ServeError, match="positive"):
+                service.submit(maximize_spec, timeout=0.0)
+            with pytest.raises(ServeError, match="positive"):
+                service.submit(maximize_spec, timeout=-5.0)
+            with pytest.raises(ServeError, match="finite"):
+                service.submit(maximize_spec, timeout=float("inf"))
+
+    def test_queued_duplicate_resolved_from_cache_at_claim(self,
+                                                           maximize_spec):
+        """Two identical jobs queued before either runs: the second must
+        be answered from the cache at claim time, not re-solved."""
+        service = VerificationService(workers=1)  # queue first, run later
+        first = service.submit(maximize_spec)
+        second = service.submit(maximize_spec)
+        assert second.cache_hit is False  # no verdict existed at submit
+        with service:
+            a = service.wait(first.job_id, timeout=30)
+            b = service.wait(second.job_id, timeout=30)
+            assert a.state == JOB_DONE and b.state == JOB_DONE
+            assert service.stats()["executed_jobs"] == 1  # one real solve
+            assert a.cache_hit is False
+            assert b.cache_hit is True  # claim-time hits are recorded too
+            va, vb = (service.verdict(first.job_id),
+                      service.verdict(second.job_id))
+            assert vb.provenance.cached is True
+            assert canonical_verdict_json(va) == canonical_verdict_json(vb)
+
+    def test_transient_store_error_does_not_kill_workers(self,
+                                                         maximize_spec):
+        """A sqlite hiccup in claim_next must be absorbed (counted in
+        stats), not terminate the only worker thread."""
+        import sqlite3
+
+        service = VerificationService(workers=1)
+        real_claim = service.store.claim_next
+        failures = {"left": 2}
+
+        def flaky_claim():
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise sqlite3.OperationalError("database is locked")
+            return real_claim()
+
+        service.store.claim_next = flaky_claim
+        with service:
+            job = service.submit(maximize_spec)
+            record = service.wait(job.job_id, timeout=30)
+            assert record.state == JOB_DONE
+            assert service.stats()["worker_errors"] >= 1
+
+    def test_restart_mid_queue_loses_no_jobs(self, tmp_path, fig2,
+                                             enlarged_box2):
+        path = str(tmp_path / "jobs.sqlite")
+        specs = [MaximizeSpec(network=fig2, input_box=enlarged_box2,
+                              objective=np.array([float(k)]))
+                 for k in (1, 2, 3)]
+        first = VerificationService(store=path, workers=1)  # never started
+        ids = [first.submit(spec).job_id for spec in specs]
+        first.close()
+
+        with VerificationService(store=path, workers=2) as second:
+            for job_id in ids:
+                record = second.wait(job_id, timeout=60)
+                assert record.state == JOB_DONE
+                assert second.verdict(job_id).result.status == "optimal"
+
+
+class TestHTTPAndClient:
+    @pytest.fixture
+    def server(self):
+        service = VerificationService(workers=2).start()
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_http_submit_matches_direct_engine(self, server, maximize_spec):
+        direct = VerificationEngine(VerifyConfig()).verify(maximize_spec)
+        client = ServeClient(server.url)
+        job = client.submit(maximize_spec)
+        assert job["state"] in (JOB_QUEUED, JOB_RUNNING, JOB_DONE)
+        record = client.wait(job["job_id"], timeout=30)
+        assert record["state"] == JOB_DONE
+        assert canonical_verdict_json(client.verdict(job["job_id"])) == \
+            canonical_verdict_json(direct)
+
+    def test_http_cache_hit_round_trip(self, server, maximize_spec):
+        client = ServeClient(server.url)
+        first = client.submit(maximize_spec)
+        client.wait(first["job_id"], timeout=30)
+        second = client.submit(maximize_spec)
+        assert second["state"] == JOB_DONE
+        assert second["cache_hit"] is True
+        assert second["verdict"]["provenance"]["cached"] is True
+
+    def test_http_list_health_stats(self, server, maximize_spec):
+        client = ServeClient(server.url)
+        job = client.submit(maximize_spec)
+        client.wait(job["job_id"], timeout=30)
+        listed = client.jobs()
+        assert any(r["job_id"] == job["job_id"] for r in listed)
+        assert "verdict" not in listed[0]  # list view elides payloads
+        assert client.jobs(state=JOB_DONE)
+        health = client.health()
+        assert health["ok"] is True and health["workers"] == 2
+        stats = client.stats()
+        assert stats["executor"] == "inprocess"
+        assert stats["jobs"][JOB_DONE] >= 1
+
+    def test_http_cancel_and_errors(self, server, maximize_spec):
+        client = ServeClient(server.url)
+        with pytest.raises(ServeError, match="unknown job"):
+            client.job("job-99999999")
+        with pytest.raises(ServeError, match='"spec"'):
+            client._request("POST", "/jobs", {"priority": 1})
+        with pytest.raises(ServeError, match="unknown spec type"):
+            client._request("POST", "/jobs", {"spec": {"type": "nope"}})
+        with pytest.raises(ServeError, match="unknown path"):
+            client._request("GET", "/teapot")
+        job = client.submit(maximize_spec)
+        result = client.cancel(job["job_id"])
+        assert result["state"] in (JOB_CANCELLED, JOB_RUNNING, JOB_DONE)
+
+    def test_http_rejects_junk_scheduling_fields(self, server,
+                                                 maximize_spec):
+        """Bad priority/timeout types must come back as a 400 JSON error
+        at submission, not crash the handler or fail the job later."""
+        client = ServeClient(server.url)
+        spec_doc = spec_to_dict(maximize_spec)
+        with pytest.raises(ServeError, match="priority must be"):
+            client._request("POST", "/jobs",
+                            {"spec": spec_doc, "priority": "high"})
+        with pytest.raises(ServeError, match="timeout must be"):
+            client._request("POST", "/jobs",
+                            {"spec": spec_doc, "timeout": "soon"})
+        with pytest.raises(ServeError, match="timeout must be"):
+            client._request("POST", "/jobs",
+                            {"spec": spec_doc, "timeout": True})
+        with pytest.raises(ServeError, match="timeout must be"):
+            client._request("POST", "/jobs",
+                            {"spec": spec_doc, "timeout": -1})
+
+    def _raw_post(self, server, body: bytes):
+        import http.client
+
+        target = ServeClient(server.url)
+        conn = http.client.HTTPConnection(target.host, target.port)
+        try:
+            conn.request("POST", "/jobs", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_http_rejects_nonfinite_timeout_and_json_tokens(
+            self, server, maximize_spec):
+        # The stdlib client refuses to *emit* these, so ship raw bytes:
+        # a hand-rolled peer absolutely can send them.
+        spec_json = json.dumps(spec_to_dict(maximize_spec))
+        # 1e999 parses to inf without tripping parse_constant: it must be
+        # stopped by the finiteness validation, or the stored record
+        # could never be re-encoded as strict JSON again.
+        status, payload = self._raw_post(
+            server, f'{{"spec": {spec_json}, "timeout": 1e999}}'.encode())
+        assert status == 400
+        assert "timeout must be" in payload["error"]
+        status, payload = self._raw_post(
+            server,
+            f'{{"spec": {spec_json}, "timeout": Infinity}}'.encode())
+        assert status == 400
+        assert "non-standard JSON" in payload["error"]
+
+    def test_http_bad_state_filter_is_400_not_404(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            ServeClient(server.url).host, ServeClient(server.url).port)
+        try:
+            conn.request("GET", "/jobs?state=bogus")
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "unknown job state" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_http_rejects_malformed_arrays_with_400(self, server,
+                                                    maximize_spec):
+        """A structurally-plausible spec whose arrays are ragged must be
+        a 400, not a crashed handler / dropped connection."""
+        client = ServeClient(server.url)
+        spec_doc = spec_to_dict(maximize_spec)
+        spec_doc["input_box"] = {"lower": [[0.0, 1.0], [2.0]],
+                                 "upper": [1.0, 1.0]}
+        with pytest.raises(ServeError):
+            client._request("POST", "/jobs", {"spec": spec_doc})
+        assert client.health()["ok"] is True  # the server survived
+
+    def test_http_error_responses_close_the_connection(self, server):
+        """An error before the body is read would desync a keep-alive
+        connection (leftover bytes parsed as the next request line)."""
+        import http.client
+
+        target = ServeClient(server.url)
+        conn = http.client.HTTPConnection(target.host, target.port)
+        try:
+            # Declare a body far over the cap; the server must reject it
+            # without reading and tell the client the connection is done.
+            conn.putrequest("POST", "/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(10 ** 12))
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_http_jobs_limit_filter(self, server, fig2, enlarged_box2):
+        client = ServeClient(server.url)
+        for k in (1, 2, 3):
+            client.submit(MaximizeSpec(network=fig2,
+                                       input_box=enlarged_box2,
+                                       objective=np.array([float(k)])))
+        assert len(client.jobs(limit=2)) == 2
+        with pytest.raises(ServeError):
+            client._request("GET", "/jobs?limit=soon")
+
+
+class TestSubprocessExecutor:
+    def test_ships_job_over_verify_spec_wire(self, maximize_spec):
+        direct = VerificationEngine(VerifyConfig()).verify(maximize_spec)
+        executor = SubprocessExecutor()
+        verdict_doc = executor.execute(_wire(maximize_spec), _CONFIG_JSON,
+                                       timeout=300)
+        served = verdict_from_dict(verdict_doc)
+        assert canonical_verdict_json(served) == \
+            canonical_verdict_json(direct)
+
+    def test_timeout_kills_the_child(self, maximize_spec):
+        executor = SubprocessExecutor()
+        with pytest.raises(TimeoutError, match="killed"):
+            executor.execute(_wire(maximize_spec), _CONFIG_JSON,
+                             timeout=0.05)
+
+    def test_crashed_child_surfaces_real_error(self, bad_spec):
+        """A child that dies on an uncaught exception also exits 1 (the
+        'verdict fails' code); the executor must report the stderr
+        diagnosis, not 'unparseable output'."""
+        executor = SubprocessExecutor()
+        with pytest.raises(ServeError, match="ShapeError"):
+            executor.execute(_wire(bad_spec), _CONFIG_JSON, timeout=300)
+
+
+class TestServeCLI:
+    @pytest.fixture
+    def server(self):
+        service = VerificationService(workers=1).start()
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_submit_wait_matches_verify_spec_wire(self, server, tmp_path,
+                                                  maximize_spec, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"spec": spec_to_dict(maximize_spec)}))
+        assert cli_main(["verify-spec", str(path), "--wire"]) == 0
+        direct_doc = json.loads(capsys.readouterr().out)
+        assert cli_main(["submit", str(path), "--url", server.url,
+                         "--wait", "--json"]) == 0
+        served_doc = json.loads(capsys.readouterr().out)
+        assert canonical_verdict_json(verdict_from_dict(served_doc)) == \
+            canonical_verdict_json(verdict_from_dict(direct_doc))
+
+    def test_submit_status_cancel_round_trip(self, server, tmp_path,
+                                             maximize_spec, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"spec": spec_to_dict(maximize_spec)}))
+        assert cli_main(["submit", str(path), "--url", server.url,
+                         "--json"]) == 0
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+        assert cli_main(["status", job_id, "--url", server.url,
+                         "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["job_id"] == job_id
+        assert cli_main(["status", "--url", server.url, "--json"]) == 0
+        overview = json.loads(capsys.readouterr().out)
+        assert any(r["job_id"] == job_id for r in overview["jobs"])
+        # cancel exits 0 only when the job was still cancellable
+        code = cli_main(["cancel", job_id, "--url", server.url])
+        assert code in (0, 1)
+
+    def test_submit_exit_code_matches_verify_spec_semantics(self):
+        from repro.cli import _verdict_exit_code
+
+        # Value queries: range always computed; maximize only at optimal.
+        assert _verdict_exit_code({"verdict": "range", "holds": None}) == 0
+        assert _verdict_exit_code({"verdict": "maximize", "holds": None,
+                                   "result": {"status": "optimal"}}) == 0
+        # A node-limited maximize has no optimum: inconclusive, exit 2.
+        assert _verdict_exit_code({"verdict": "maximize", "holds": None,
+                                   "result": {"status": "node_limit"}}) == 2
+        assert _verdict_exit_code({"verdict": "containment",
+                                   "holds": True}) == 0
+        assert _verdict_exit_code({"verdict": "containment",
+                                   "holds": False}) == 1
+        assert _verdict_exit_code({"verdict": "failed", "holds": None}) == 3
+
+    def test_verify_spec_reads_stdin(self, maximize_spec, capsys,
+                                     monkeypatch):
+        import io
+
+        document = json.dumps({"spec": spec_to_dict(maximize_spec)})
+        monkeypatch.setattr("sys.stdin", io.StringIO(document))
+        assert cli_main(["verify-spec", "-", "--wire"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verdict"] == "maximize"

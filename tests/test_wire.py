@@ -1,0 +1,249 @@
+"""Verdict/config wire serialization: every Verdict type round-trips the
+JSON wire form exactly (non-finite bounds included), and the canonical
+form strips only run bookkeeping."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ContainmentSpec,
+    MaximizeSpec,
+    OutputRangeSpec,
+    PropositionSpec,
+    ThresholdSpec,
+    VerificationEngine,
+    VerifyConfig,
+    canonical_verdict_json,
+    config_from_json,
+    config_to_json,
+    verdict_from_dict,
+    verdict_from_json,
+    verdict_to_dict,
+    verdict_to_json,
+)
+from repro.api.verdict import (
+    ContainmentVerdict,
+    FailedVerdict,
+    MaximizeVerdict,
+    Provenance,
+    RangeVerdict,
+    ThresholdVerdict,
+)
+from repro.core import (
+    LipschitzCertificate,
+    ProofArtifacts,
+    StateAbstractions,
+    VerificationProblem,
+)
+from repro.domains import Box
+from repro.errors import SerializationError
+
+
+def _roundtrip(verdict):
+    """Assert the wire form is a fixed point and return the clone."""
+    wire = verdict_to_json(verdict)
+    clone = verdict_from_json(wire)
+    assert type(clone) is type(verdict)
+    assert verdict_to_json(clone) == wire
+    assert canonical_verdict_json(clone) == canonical_verdict_json(verdict)
+    return clone
+
+
+@pytest.fixture
+def engine():
+    return VerificationEngine(VerifyConfig())
+
+
+class TestSolvedVerdictRoundTrips:
+    """Round-trips of verdicts produced by real engine runs."""
+
+    def test_maximize(self, engine, fig2, enlarged_box2):
+        verdict = engine.verify(MaximizeSpec(
+            network=fig2, input_box=enlarged_box2,
+            objective=np.array([1.0])))
+        clone = _roundtrip(verdict)
+        assert clone.result.status == verdict.result.status
+        assert clone.result.upper_bound == verdict.result.upper_bound
+        assert np.array_equal(clone.result.witness, verdict.result.witness)
+
+    def test_containment(self, engine, fig2, enlarged_box2):
+        verdict = engine.verify(ContainmentSpec(
+            network=fig2, input_box=enlarged_box2,
+            target=Box(-50 * np.ones(1), 50 * np.ones(1))))
+        clone = _roundtrip(verdict)
+        assert clone.holds is verdict.holds
+        assert clone.result.method == verdict.result.method
+
+    def test_containment_counterexample(self, engine, fig2, enlarged_box2):
+        verdict = engine.verify(ContainmentSpec(
+            network=fig2, input_box=enlarged_box2,
+            target=Box(np.array([100.0]), np.array([200.0])),
+            method="exact"))
+        assert verdict.holds is False
+        clone = _roundtrip(verdict)
+        assert np.array_equal(clone.counterexample, verdict.counterexample)
+        assert clone.violation == verdict.violation
+
+    def test_output_range(self, engine, fig2, enlarged_box2):
+        verdict = engine.verify(OutputRangeSpec(network=fig2,
+                                                input_box=enlarged_box2))
+        clone = _roundtrip(verdict)
+        assert np.array_equal(clone.output_range.lower,
+                              verdict.output_range.lower)
+        assert np.array_equal(clone.output_range.upper,
+                              verdict.output_range.upper)
+
+    def test_threshold_with_certificate(self, engine, fig2, enlarged_box2):
+        verdict = engine.verify(ThresholdSpec(
+            network=fig2, input_box=enlarged_box2,
+            objective=np.array([1.0]), threshold=12.0))
+        assert verdict.certified
+        clone = _roundtrip(verdict)
+        assert clone.certificate.num_leaves == verdict.certificate.num_leaves
+        assert clone.certificate.block_dims == verdict.certificate.block_dims
+        assert clone.certificate.leaves == verdict.certificate.leaves
+        assert clone.certificate.compatible_with(fig2)
+
+    def test_proposition(self, engine, fig2, unit_box2, enlarged_box2):
+        problem = VerificationProblem(
+            fig2, unit_box2, Box(np.array([-12.0]), np.array([12.0])))
+        artifacts = ProofArtifacts(
+            problem=problem,
+            states=StateAbstractions(boxes=[
+                Box(np.zeros(3), 8 * np.ones(3)),
+                Box(np.array([0.0]), np.array([12.0]))]),
+            lipschitz=LipschitzCertificate(ell=20.0),
+            states_prove_safety=True,
+            original_time=1.0)
+        verdict = engine.verify(PropositionSpec(
+            kind=3, artifacts=artifacts, enlarged_din=enlarged_box2))
+        clone = _roundtrip(verdict)
+        assert clone.result.proposition == verdict.result.proposition
+        assert len(clone.subproblems) == len(verdict.subproblems)
+
+
+class TestConstructedVerdictRoundTrips:
+    """Hand-built verdicts exercise the corners solves rarely hit."""
+
+    def test_nonfinite_bounds(self):
+        from repro.exact.bab import BaBResult
+
+        verdict = MaximizeVerdict(
+            spec_type="maximize", holds=None,
+            provenance=Provenance(elapsed=0.25, lp_solves=3),
+            detail="status=node_limit",
+            result=BaBResult(status="node_limit", upper_bound=float("inf"),
+                             incumbent=float("-inf"), witness=None,
+                             nodes=7, lp_solves=3))
+        clone = _roundtrip(verdict)
+        assert clone.result.upper_bound == float("inf")
+        assert clone.result.incumbent == float("-inf")
+        # The wire text itself stays strict RFC 8259: no Infinity tokens.
+        wire = verdict_to_json(verdict)
+        assert "Infinity" not in wire and '"inf"' in wire
+
+    def test_nonfinite_violation_and_nan(self):
+        from repro.exact.verify import ContainmentResult
+
+        verdict = ContainmentVerdict(
+            spec_type="containment", holds=None, provenance=Provenance(),
+            detail="", result=ContainmentResult(
+                holds=None, method="symbolic", violation=float("inf"),
+                counterexample=np.array([1.0, float("nan")])))
+        clone = _roundtrip(verdict)
+        assert clone.result.violation == float("inf")
+        assert np.isnan(clone.result.counterexample[1])
+
+    def test_range_with_infinite_box(self):
+        verdict = RangeVerdict(
+            spec_type="output_range", holds=None, provenance=Provenance(),
+            detail="", output_range=Box(np.array([-np.inf, 0.0]),
+                                        np.array([np.inf, 1.0])))
+        clone = _roundtrip(verdict)
+        assert clone.output_range.lower[0] == -np.inf
+        assert clone.output_range.upper[0] == np.inf
+
+    def test_failed_verdict(self):
+        verdict = FailedVerdict(
+            spec_type="containment", holds=None,
+            provenance=Provenance(workers=4),
+            detail="ShapeError: boom", error="boom",
+            error_type="ShapeError")
+        clone = _roundtrip(verdict)
+        assert clone.error == "boom"
+        assert clone.error_type == "ShapeError"
+
+    def test_cached_provenance_flag(self):
+        verdict = FailedVerdict(
+            spec_type="maximize", holds=None,
+            provenance=Provenance(cached=True), detail="")
+        clone = _roundtrip(verdict)
+        assert clone.provenance.cached is True
+
+
+class TestCanonicalForm:
+    def test_canonical_strips_only_run_bookkeeping(self, engine, fig2,
+                                                   enlarged_box2):
+        spec = MaximizeSpec(network=fig2, input_box=enlarged_box2,
+                            objective=np.array([1.0]))
+        first = engine.verify(spec)
+        second = engine.verify(spec)
+        # Wall clocks differ run to run; the canonical value must not.
+        assert first.provenance.elapsed != second.provenance.elapsed
+        assert canonical_verdict_json(first) == canonical_verdict_json(second)
+        data = json.loads(canonical_verdict_json(first))
+        assert "provenance" not in data
+        assert data["result"]["upper_bound"] == first.result.upper_bound
+
+    def test_canonical_strips_nested_elapsed(self):
+        from repro.exact.verify import ContainmentResult
+
+        verdict = ContainmentVerdict(
+            spec_type="containment", holds=True,
+            provenance=Provenance(elapsed=1.0), detail="",
+            result=ContainmentResult(holds=True, method="exact",
+                                     elapsed=123.0))
+        data = json.loads(canonical_verdict_json(verdict))
+        assert "elapsed" not in data["result"]
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError, match="unknown verdict"):
+            verdict_from_dict({"verdict": "nope"})
+        with pytest.raises(SerializationError, match="verdict.*tag"):
+            verdict_from_dict({"holds": True})
+
+    def test_missing_common_keys_rejected(self):
+        # Missing envelope fields surface as SerializationError too, not
+        # a raw KeyError (callers catch one error type for wire input).
+        with pytest.raises(SerializationError, match="spec_type"):
+            verdict_from_dict({"verdict": "failed"})
+        with pytest.raises(SerializationError, match="provenance"):
+            verdict_from_dict({"verdict": "failed", "spec_type": "x",
+                               "holds": None})
+
+    def test_not_a_verdict_rejected(self):
+        with pytest.raises(SerializationError, match="not a wire"):
+            verdict_to_dict(object())
+
+
+class TestConfigWire:
+    def test_roundtrip(self):
+        config = VerifyConfig(workers=3, tol=1e-7, node_tighten=True,
+                              frontier_width=9)
+        assert config_from_json(config_to_json(config)) == config
+
+    def test_canonical_bytes(self):
+        config = VerifyConfig()
+        assert config_to_json(config) == config_to_json(VerifyConfig())
+        data = json.loads(config_to_json(config))
+        assert list(data) == sorted(data)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(Exception, match="unknown"):
+            config_from_json('{"tol": 1e-6, "warp_speed": true}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SerializationError, match="object"):
+            config_from_json("[1, 2]")
