@@ -33,6 +33,7 @@ from __future__ import annotations
 _EXPORTS = {
     # config
     "VerifyConfig": "repro.api.config",
+    "ServeConfig": "repro.api.config",
     "LegacyEntryPointWarning": "repro.api.config",
     # specs
     "Spec": "repro.api.specs",

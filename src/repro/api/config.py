@@ -38,6 +38,7 @@ __all__ = [
     "DEFAULT_ENCODING_CACHE",
     "ENCODING_CACHE_POLICIES",
     "LegacyEntryPointWarning",
+    "ServeConfig",
     "VerifyConfig",
     "warn_legacy",
 ]
@@ -201,6 +202,114 @@ class VerifyConfig:
         if unknown:
             raise ReproError(
                 f"unknown VerifyConfig keys {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every resilience knob of the serving layer, with canonical defaults.
+
+    The serving twin of :class:`VerifyConfig`: one frozen object carrying
+    retry, circuit-breaker, backpressure, and child-process policy, shared
+    by :class:`~repro.serve.scheduler.VerificationService`, the CLI, and
+    the chaos harness.  Solver behaviour lives in :class:`VerifyConfig`
+    only; nothing here can change a verdict's *value* -- just whether and
+    when a job gets to produce one.
+    """
+
+    #: Total execution budget per job (1 = never retry).  Only *transient*
+    #: failures (crash, hang, malformed wire reply) are retried; permanent
+    #: job failures terminate on the first attempt.
+    retry_attempts: int = 3
+    #: Backoff before attempt ``n+1``: ``base * multiplier**(n-1)``,
+    #: capped at ``retry_max_delay``, shrunk by deterministic jitter.
+    retry_base_delay: float = 0.05
+    retry_max_delay: float = 5.0
+    retry_multiplier: float = 2.0
+    #: Jitter fraction in [0, 1]; deterministic per ``(job_id, attempt)``.
+    retry_jitter: float = 0.5
+    #: Circuit breaker: open after this many *consecutive* transient
+    #: failures on one executor ...
+    breaker_threshold: int = 5
+    #: ... and stay open this many seconds before a half-open probe.
+    breaker_reset: float = 5.0
+    #: Queue-depth limit for backpressure (``None`` = unbounded).  Beyond
+    #: it, submissions are rejected with
+    #: :class:`~repro.errors.QueueFullError` / HTTP 503 + ``Retry-After``.
+    queue_limit: Optional[int] = None
+    #: Seconds clients are told to wait after a backpressure rejection.
+    retry_after: float = 1.0
+    #: Grace period between SIGTERM and SIGKILL when reaping a timed-out
+    #: executor subprocess (and its process group).
+    kill_grace: float = 2.0
+
+    def __post_init__(self):
+        if self.retry_attempts < 1:
+            raise ReproError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}")
+        if self.retry_base_delay < 0 or \
+                self.retry_max_delay < self.retry_base_delay:
+            raise ReproError(
+                "need 0 <= retry_base_delay <= retry_max_delay, got "
+                f"{self.retry_base_delay}/{self.retry_max_delay}")
+        if self.retry_multiplier < 1:
+            raise ReproError(
+                f"retry_multiplier must be >= 1, got {self.retry_multiplier}")
+        if not (0 <= self.retry_jitter <= 1):
+            raise ReproError(
+                f"retry_jitter must be in [0, 1], got {self.retry_jitter}")
+        if self.breaker_threshold < 1:
+            raise ReproError(
+                f"breaker_threshold must be >= 1, "
+                f"got {self.breaker_threshold}")
+        if self.breaker_reset < 0:
+            raise ReproError(
+                f"breaker_reset must be >= 0, got {self.breaker_reset}")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ReproError(
+                f"queue_limit must be >= 1 or None, got {self.queue_limit}")
+        if self.retry_after <= 0:
+            raise ReproError(
+                f"retry_after must be positive, got {self.retry_after}")
+        if self.kill_grace < 0:
+            raise ReproError(
+                f"kill_grace must be >= 0, got {self.kill_grace}")
+
+    def replace(self, **overrides) -> "ServeConfig":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def with_overrides(self, **maybe) -> "ServeConfig":
+        """Like :meth:`replace` but ``None`` values mean "keep mine"."""
+        overrides = {k: v for k, v in maybe.items() if v is not None}
+        return self.replace(**overrides) if overrides else self
+
+    def retry_policy(self):
+        """The :class:`~repro.serve.resilience.RetryPolicy` these knobs
+        describe."""
+        from repro.serve.resilience import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.retry_attempts,
+            base_delay=self.retry_base_delay,
+            max_delay=self.retry_max_delay,
+            multiplier=self.retry_multiplier,
+            jitter=self.retry_jitter,
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-safe mapping (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ServeConfig":
+        """Build from a mapping, rejecting unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"unknown ServeConfig keys {sorted(unknown)}; "
                 f"known: {sorted(known)}")
         return cls(**data)
 

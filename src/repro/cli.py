@@ -168,6 +168,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--service-workers", type=int, default=2,
                        help="concurrent jobs (default 2); --workers "
                             "below remains the per-solve pool width")
+    resilience = serve.add_argument_group("resilience options")
+    resilience.add_argument(
+        "--failover", action="store_true",
+        help="append an in-process fallback after the chosen executor "
+             "(graceful degradation when its circuit breaker opens)")
+    resilience.add_argument(
+        "--retry-attempts", type=int, default=None,
+        help="total execution attempts per job before a transient "
+             "failure becomes terminal (default 3; 1 = never retry)")
+    resilience.add_argument(
+        "--breaker-threshold", type=int, default=None,
+        help="consecutive transient failures that open an executor's "
+             "circuit breaker (default 5)")
+    resilience.add_argument(
+        "--breaker-reset", type=float, default=None,
+        help="seconds an open breaker cools down before admitting a "
+             "half-open probe (default 5)")
+    resilience.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="max queued jobs before submissions are shed with HTTP 503 "
+             "+ Retry-After (default: unbounded)")
+    resilience.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="CHAOS TESTING: inject this fraction of deterministic "
+             "faults (crash/hang/corrupt wire) into the executor "
+             "(default 0 = off)")
+    resilience.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for --fault-rate injection (same seed + arrival "
+             "order = same fault schedule)")
     _add_engine_args(serve, full=True)
 
     submit = sub.add_parser(
@@ -182,7 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scheduling priority (higher runs first; "
                              "FIFO within a priority)")
     submit.add_argument("--job-timeout", type=float, default=None,
-                        help="per-job wall-clock budget in seconds")
+                        help="per-attempt wall-clock budget in seconds")
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="total budget in seconds: the server never "
+                             "starts (or restarts) the job after it, and "
+                             "clips each attempt's timeout to what is "
+                             "left")
     submit.add_argument("--wait", action="store_true",
                         help="block until the verdict is in and print it")
     submit.add_argument("--json", action="store_true",
@@ -408,20 +443,43 @@ def _cmd_verify_spec(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import VerificationService, serve_http
+    from repro.api.config import ServeConfig
+    from repro.serve import (FaultInjectingExecutor, VerificationService,
+                             make_executor, serve_http)
 
     config = _config_from_args(args)
+    serve_config = ServeConfig().with_overrides(
+        retry_attempts=args.retry_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        queue_limit=args.queue_limit)
+    chain = [make_executor(args.executor)]
+    if args.fault_rate:
+        # Chaos mode: wrap the *primary* only, so a --failover fallback
+        # stays healthy and the breaker handoff is observable end-to-end.
+        chain[0] = FaultInjectingExecutor(chain[0],
+                                          fault_rate=args.fault_rate,
+                                          seed=args.fault_seed)
+    if args.failover and args.executor != "inprocess":
+        chain.append(make_executor("inprocess"))
     service = VerificationService(
-        store=args.db, executor=args.executor,
-        workers=args.service_workers, default_config=config)
+        store=args.db, executor=chain,
+        workers=args.service_workers, default_config=config,
+        serve_config=serve_config)
     server = serve_http(service, host=args.host, port=args.port)
     service.start()
     if service.store.recovered_jobs:
         print(f"recovered {service.store.recovered_jobs} interrupted "
               "job(s) back into the queue")
+    extras = ""
+    if args.fault_rate:
+        extras += (f", fault_rate={args.fault_rate:g} "
+                   f"seed={args.fault_seed}")
+    if serve_config.queue_limit is not None:
+        extras += f", queue_limit={serve_config.queue_limit}"
     print(f"repro serve listening on {server.url}  "
-          f"(store={args.db}, executor={args.executor}, "
-          f"service workers={args.service_workers})")
+          f"(store={args.db}, executor={service.executor.name}, "
+          f"service workers={args.service_workers}{extras})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -467,7 +525,8 @@ def _cmd_submit(args) -> int:
     client = ServeClient(args.url)
     record = client.submit(spec_doc, config=config_doc,
                            priority=args.priority,
-                           timeout=args.job_timeout)
+                           timeout=args.job_timeout,
+                           deadline=args.deadline)
     if not args.wait:
         if args.json:
             print(json.dumps(record, allow_nan=False))

@@ -53,3 +53,62 @@ class VehicleError(ReproError):
 class ServeError(ReproError):
     """The verification service (job store, executors, HTTP front end)
     received an invalid request or hit an internal failure."""
+
+
+# --------------------------------------------------------------------------
+# The serving failure taxonomy.  Every way a claimed job can fail is one of
+# two kinds, and the retry machinery keys off that distinction alone:
+#
+# * :class:`TransientExecutionError` -- the *infrastructure* failed (a child
+#   crashed, hung, or returned garbage); the job itself may well be fine and
+#   is worth retrying with backoff.
+# * :class:`PermanentJobError` -- the *job* is bad (malformed spec, solver
+#   rejects the problem, deadline already passed); retrying burns an
+#   executor slot to reproduce the same failure, so it is failed terminally
+#   on the first attempt.
+#
+# Solver-level errors (ShapeError, SolverError, ...) raised while executing
+# a job are treated as permanent: identical inputs deterministically raise
+# identically.  Everything else an executor raises defaults to transient --
+# a spurious retry costs one re-solve, while a spurious permanent failure
+# drops a job a healthy executor could have answered.
+
+
+class TransientExecutionError(ServeError):
+    """Execution failed for reasons unrelated to the job's content; a
+    retry on healthy infrastructure may succeed."""
+
+
+class PermanentJobError(ServeError):
+    """The job itself can never succeed; retries are pointless."""
+
+
+class ExecutorCrashError(TransientExecutionError):
+    """The executor process died (nonzero exit, signal, empty reply)
+    without producing a verdict document."""
+
+
+class MalformedWireError(TransientExecutionError):
+    """The executor replied, but not with a parseable verdict document
+    (truncated JSON, garbage stdout, wrong document shape)."""
+
+
+class JobTimeoutError(TransientExecutionError, TimeoutError):
+    """The job overran its wall-clock budget.  Also a builtin
+    :class:`TimeoutError` so pre-taxonomy ``except TimeoutError`` call
+    sites keep working."""
+
+
+class JobDeadlineError(PermanentJobError):
+    """The job's client deadline passed before (or while) it ran; the
+    answer can no longer be used, so the work is never started/retried."""
+
+
+class QueueFullError(ServeError):
+    """The service's queue-depth limit was hit; the submission was
+    rejected for backpressure (HTTP 503 + ``Retry-After``).  Neither
+    transient nor permanent: the job was never accepted."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -12,7 +12,13 @@ layer over the :mod:`repro.api` engine:
   speaking the JSON wire form (the seam future remote executors plug into);
 * a stdlib **HTTP front end** (:class:`ServeAPIServer`) and **client**
   (:class:`ServeClient`); the CLI twins are ``repro serve`` / ``submit`` /
-  ``status`` / ``cancel``.
+  ``status`` / ``cancel``;
+* a **resilience layer** (:mod:`repro.serve.resilience`): failure
+  taxonomy + classification, retry with deterministic backoff, one
+  circuit breaker per executor in a failover chain
+  (:class:`SupervisedExecutor`), and a seeded
+  :class:`FaultInjectingExecutor` for chaos testing (``docs/
+  resilience.md``).
 
 Quick start::
 
@@ -33,6 +39,7 @@ _EXPORTS = {
     # store
     "JobStore": "repro.serve.store",
     "JobRecord": "repro.serve.store",
+    "AttemptRecord": "repro.serve.store",
     "job_fingerprint": "repro.serve.store",
     "JOB_QUEUED": "repro.serve.store",
     "JOB_RUNNING": "repro.serve.store",
@@ -47,6 +54,20 @@ _EXPORTS = {
     "InProcessExecutor": "repro.serve.executors",
     "SubprocessExecutor": "repro.serve.executors",
     "make_executor": "repro.serve.executors",
+    # resilience
+    "classify_failure": "repro.serve.resilience",
+    "RetryPolicy": "repro.serve.resilience",
+    "CircuitBreaker": "repro.serve.resilience",
+    "SupervisedExecutor": "repro.serve.resilience",
+    "FaultInjectingExecutor": "repro.serve.resilience",
+    "ExecutorUnavailableError": "repro.serve.resilience",
+    "FAULT_KINDS": "repro.serve.resilience",
+    # taxonomy (defined in repro.errors; re-exported here because the
+    # scheduler/client raise them at the serving boundary)
+    "ExecutorCrashError": "repro.errors",
+    "JobTimeoutError": "repro.errors",
+    "MalformedWireError": "repro.errors",
+    "QueueFullError": "repro.errors",
     # http + client
     "ServeAPIServer": "repro.serve.http",
     "serve_http": "repro.serve.http",

@@ -18,10 +18,15 @@ import time
 from typing import Dict, List, Optional
 from urllib.parse import quote, urlsplit
 
-from repro.errors import ServeError
+from repro.errors import QueueFullError, ServeError
 from repro.serve.store import TERMINAL_STATES
 
 __all__ = ["ServeClient"]
+
+#: Connection-level failures worth one same-request retry -- but only for
+#: idempotent GETs: a resend after these may re-run a non-idempotent POST.
+_RETRYABLE_NETWORK_ERRORS = (ConnectionError, TimeoutError,
+                             http.client.HTTPException, OSError)
 
 
 class ServeClient:
@@ -41,6 +46,19 @@ class ServeClient:
     # -------------------------------------------------------------- plumbing
     def _request(self, method: str, path: str,
                  payload: Optional[Dict] = None) -> Dict:
+        attempts = 2 if method == "GET" else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except _RETRYABLE_NETWORK_ERRORS:
+                # ServeError/QueueFullError are *not* in this tuple: a
+                # parsed server response must never be retried here.
+                if attempt == attempts:
+                    raise
+                time.sleep(0.05)
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[Dict] = None) -> Dict:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -60,6 +78,18 @@ class ServeClient:
             raise ServeError(
                 f"server returned unparseable JSON for {method} {path}: "
                 f"{exc}") from None
+        if response.status == 503:
+            # Backpressure: surface the server's Retry-After so callers
+            # can actually honour it instead of hammering the endpoint.
+            try:
+                retry_after = float(
+                    response.getheader("Retry-After")
+                    or data.get("retry_after") or 1.0)
+            except (TypeError, ValueError):
+                retry_after = 1.0
+            raise QueueFullError(
+                data.get("error", f"{method} {path} failed (503)"),
+                retry_after=retry_after)
         if response.status >= 400:
             raise ServeError(
                 data.get("error",
@@ -68,8 +98,13 @@ class ServeClient:
 
     # ------------------------------------------------------------------ API
     def submit(self, spec, config=None, priority: int = 0,
-               timeout: Optional[float] = None) -> Dict:
-        """Submit a Spec (object or wire dict); returns the job record."""
+               timeout: Optional[float] = None,
+               deadline: Optional[float] = None) -> Dict:
+        """Submit a Spec (object or wire dict); returns the job record.
+        ``deadline`` is the total client budget in seconds from now (the
+        server never starts work past it).  Raises
+        :class:`~repro.errors.QueueFullError` (with ``retry_after``) when
+        the server sheds load."""
         from repro.api.config import VerifyConfig
         from repro.api.specs import Spec, spec_to_dict
 
@@ -84,6 +119,8 @@ class ServeClient:
             document["priority"] = int(priority)
         if timeout is not None:
             document["timeout"] = float(timeout)
+        if deadline is not None:
+            document["deadline"] = float(deadline)
         return self._request("POST", "/jobs", document)
 
     def job(self, job_id: str) -> Dict:
@@ -109,9 +146,15 @@ class ServeClient:
         return self._request("GET", "/stats")
 
     def wait(self, job_id: str, timeout: Optional[float] = 60.0,
-             poll: float = 0.05) -> Dict:
-        """Poll until the job is terminal; returns its final record."""
+             poll: float = 0.05, max_poll: float = 1.0) -> Dict:
+        """Poll until the job is terminal; returns its final record.
+
+        The interval backs off exponentially from ``poll`` to ``max_poll``
+        (capped), so short jobs return fast while long solves do not
+        busy-hammer the server with a fixed-rate poll loop.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        delay = poll
         while True:
             record = self.job(job_id)
             if record["state"] in TERMINAL_STATES:
@@ -120,7 +163,12 @@ class ServeClient:
                 raise TimeoutError(
                     f"job {job_id} still {record['state']} "
                     f"after {timeout:g}s")
-            time.sleep(poll)
+            sleep_for = delay
+            if deadline is not None:
+                sleep_for = min(sleep_for, max(deadline - time.monotonic(),
+                                               0.0))
+            time.sleep(sleep_for)
+            delay = min(delay * 1.6, max_poll)
 
     def verdict(self, job_id: str):
         """The finished job's verdict as a :class:`repro.api` object."""

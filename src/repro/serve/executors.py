@@ -19,13 +19,19 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import subprocess
 import sys
 import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.errors import ServeError
+from repro.errors import (
+    ExecutorCrashError,
+    JobTimeoutError,
+    MalformedWireError,
+    ServeError,
+)
 
 __all__ = ["InProcessExecutor", "SubprocessExecutor", "make_executor"]
 
@@ -48,19 +54,30 @@ class InProcessExecutor:
         if timeout is not None and time.monotonic() - started > timeout:
             # In-process work cannot be preempted; enforce the budget by
             # discarding the late result (never cached, job fails).
-            raise TimeoutError(
+            raise JobTimeoutError(
                 f"job exceeded its {timeout:g}s budget (in-process "
                 "execution cannot be preempted; late verdict discarded)")
         return verdict_to_dict(verdict)
 
 
 class SubprocessExecutor:
-    """Run jobs in a fresh interpreter over the verify-spec wire form."""
+    """Run jobs in a fresh interpreter over the verify-spec wire form.
+
+    The child is spawned in its own session (= its own process group), so
+    a timed-out job is reaped *with its descendants*: first SIGTERM to the
+    group, then -- after ``kill_grace`` seconds -- SIGKILL.  Without the
+    group kill, a wedged HiGHS solve forked below the child would survive
+    as an orphan eating a core forever.
+    """
 
     name = "subprocess"
 
-    def __init__(self, python: Optional[str] = None):
+    def __init__(self, python: Optional[str] = None,
+                 kill_grace: float = 2.0):
         self.python = python or sys.executable
+        if kill_grace < 0:
+            raise ServeError(f"kill_grace must be >= 0, got {kill_grace}")
+        self.kill_grace = float(kill_grace)
 
     def _child_env(self) -> Dict[str, str]:
         # The child must import the same repro tree as this process,
@@ -83,13 +100,13 @@ class SubprocessExecutor:
         proc = subprocess.Popen(
             [self.python, "-m", "repro", "verify-spec", "-", "--wire"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE, text=True, env=self._child_env())
+            stderr=subprocess.PIPE, text=True, env=self._child_env(),
+            start_new_session=True)
         try:
             out, err = proc.communicate(bundle, timeout=timeout)
         except subprocess.TimeoutExpired:
-            proc.kill()
-            proc.communicate()
-            raise TimeoutError(
+            self._reap(proc)
+            raise JobTimeoutError(
                 f"job exceeded its {timeout:g}s budget "
                 "(executor subprocess killed)") from None
         # verify-spec exit codes are the *verdict* (0 holds / 1 fails /
@@ -98,12 +115,52 @@ class SubprocessExecutor:
         # test is whether a verdict document came back; on failure the
         # child's stderr carries the actual diagnosis.
         try:
-            return json.loads(out)
+            verdict = json.loads(out)
         except json.JSONDecodeError:
-            raise ServeError(
-                f"executor subprocess exited {proc.returncode} without a "
-                f"verdict document: {err.strip()[-500:] or '(no stderr)'}"
+            diagnosis = err.strip()[-500:] or "(no stderr)"
+            if not out.strip():
+                # Nothing came back at all: the child crashed (uncaught
+                # exception, OOM kill, signal) before writing a verdict.
+                raise ExecutorCrashError(
+                    f"executor subprocess exited {proc.returncode} without "
+                    f"a verdict document: {diagnosis}") from None
+            # Something came back but it is not a verdict document:
+            # truncated/garbage stdout from a child that died mid-write.
+            raise MalformedWireError(
+                f"executor subprocess exited {proc.returncode} with an "
+                f"unparseable verdict document "
+                f"(stdout starts {out.strip()[:120]!r}): {diagnosis}"
             ) from None
+        if not isinstance(verdict, dict):
+            raise MalformedWireError(
+                "executor subprocess replied with JSON that is not a "
+                f"verdict document: {type(verdict).__name__}")
+        return verdict
+
+    def _reap(self, proc: subprocess.Popen) -> None:
+        """Terminate a timed-out child and its whole process group:
+        SIGTERM first (a chance to exit cleanly), SIGKILL to the group
+        after ``kill_grace`` seconds, then reap the zombie."""
+        def _signal_group(sig) -> None:
+            if not hasattr(os, "killpg"):
+                return  # no process groups on this platform
+            try:
+                # The child is its own session leader, so its pid is the
+                # process-group id; signalling the group catches any
+                # grandchildren a wedged solve may have forked.
+                os.killpg(proc.pid, sig)
+            except (ProcessLookupError, PermissionError, OSError):
+                pass  # already gone, or a platform without process groups
+
+        proc.terminate()
+        _signal_group(signal.SIGTERM)
+        try:
+            proc.communicate(timeout=self.kill_grace)
+        except subprocess.TimeoutExpired:
+            # It ignored SIGTERM (wedged in native code): no more grace.
+            proc.kill()
+            _signal_group(signal.SIGKILL)
+            proc.communicate()
 
 
 ExecutorLike = Union[InProcessExecutor, SubprocessExecutor]

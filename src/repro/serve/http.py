@@ -9,16 +9,21 @@ pool, so slow solves never block the listener):
 Method Path                Meaning
 ====== =================== ==============================================
 POST   ``/jobs``           submit ``{"spec": ..., "config"?, "priority"?,
-                           "timeout"?}``; 201 + the job record
-GET    ``/jobs/{id}``      one job record (verdict included when done)
+                           "timeout"?, "deadline"?}``; 201 + the job
+                           record; 503 + ``Retry-After`` when the queue
+                           is full
+GET    ``/jobs/{id}``      one job record (verdict included when done,
+                           ``attempt_log`` always)
 GET    ``/jobs``           all records (``?state=queued`` filters;
                            verdicts elided for brevity)
 DELETE ``/jobs/{id}``      cancel; 200 + resulting state
-GET    ``/healthz``        liveness + queue counts
-GET    ``/stats``          full scheduler/store/cache statistics
+GET    ``/healthz``        liveness + queue counts + breaker states
+GET    ``/stats``          full scheduler/store/cache/resilience stats
 ====== =================== ==============================================
 
-The exact request/response schemas are specified in
+Error responses carry a structured JSON payload: ``{"error": <message>,
+"error_type": <taxonomy class name>}`` (plus ``retry_after`` seconds on
+503).  The exact request/response schemas are specified in
 ``docs/wire_protocol.md``.
 """
 
@@ -30,7 +35,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError, SerializationError, ServeError
+from repro.errors import (
+    QueueFullError,
+    ReproError,
+    SerializationError,
+    ServeError,
+)
 
 __all__ = ["ServeAPIServer", "serve_http"]
 
@@ -75,22 +85,33 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self):
         return self.server.service
 
-    def _send_json(self, status: int, payload: Dict) -> None:
+    def _send_json(self, status: int, payload: Dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
+    def _error(self, status: int, message: str,
+               error_type: Optional[str] = None,
+               extra: Optional[Dict] = None,
+               headers: Optional[Dict[str, str]] = None) -> None:
         # A rejected request may have an unread body; on a keep-alive
         # connection those bytes would be parsed as the next request
         # line, so error responses always close the connection.
         self.close_connection = True
-        self._send_json(status, {"error": message})
+        payload: Dict = {"error": message}
+        if error_type is not None:
+            payload["error_type"] = error_type
+        if extra:
+            payload.update(extra)
+        self._send_json(status, payload, headers=headers)
 
     def _read_body(self) -> Dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -134,10 +155,16 @@ class _Handler(BaseHTTPRequestHandler):
         head, job_id, query = self._route()
         if head == "healthz":
             stats = self.service.stats()
+            executor_stats = stats["resilience"]["executor"]
             self._send_json(200, {
                 "ok": True,
                 "workers": stats["workers"],
                 "executor": stats["executor"],
+                "executor_available": executor_stats.get("available", True),
+                "breakers": {
+                    link["name"]: link["breaker"]["state"]
+                    for link in executor_stats.get("chain", [])
+                },
                 "jobs": stats["jobs"],
             })
         elif head == "stats":
@@ -148,7 +175,11 @@ class _Handler(BaseHTTPRequestHandler):
             except ServeError as exc:
                 self._error(404, str(exc))  # only "unknown job" raises here
                 return
-            self._send_json(200, record.to_public_dict())
+            payload = record.to_public_dict()
+            payload["attempt_log"] = [
+                attempt.to_public_dict()
+                for attempt in self.service.attempt_log(job_id)]
+            self._send_json(200, payload)
         elif head == "jobs":
             try:
                 limit = query.get("limit")
@@ -165,26 +196,31 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
 
     @staticmethod
-    def _job_fields(body: Dict) -> Tuple[int, Optional[float]]:
+    def _job_fields(body: Dict) -> Tuple[int, Optional[float],
+                                         Optional[float]]:
         """Validate the scheduling fields (reject junk at the door: a bad
         timeout must fail the submit, not the job hours later)."""
         priority = body.get("priority", 0)
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ServeError(
                 f"priority must be a JSON integer, got {priority!r}")
-        timeout = body.get("timeout")
-        if timeout is not None:
-            # Finiteness matters beyond taste: 1e999 parses to inf, which
-            # would poison the stored record (strict JSON cannot re-emit
-            # it) and mean different things to the two executors.
-            if not isinstance(timeout, (int, float)) \
-                    or isinstance(timeout, bool) or timeout <= 0 \
-                    or not math.isfinite(timeout):
-                raise ServeError(
-                    "timeout must be a positive finite JSON number, got "
-                    f"{timeout!r}")
-            timeout = float(timeout)
-        return priority, timeout
+        budgets = {}
+        for name in ("timeout", "deadline"):
+            value = body.get(name)
+            if value is not None:
+                # Finiteness matters beyond taste: 1e999 parses to inf,
+                # which would poison the stored record (strict JSON cannot
+                # re-emit it) and mean different things to the two
+                # executors.
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool) or value <= 0 \
+                        or not math.isfinite(value):
+                    raise ServeError(
+                        f"{name} must be a positive finite JSON number, "
+                        f"got {value!r}")
+                value = float(value)
+            budgets[name] = value
+        return priority, budgets["timeout"], budgets["deadline"]
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib contract
         head, job_id, _ = self._route()
@@ -196,15 +232,25 @@ class _Handler(BaseHTTPRequestHandler):
             if "spec" not in body:
                 raise ServeError('a job document needs a "spec" key '
                                  '(see docs/wire_protocol.md)')
-            unknown = set(body) - {"spec", "config", "priority", "timeout"}
+            unknown = set(body) - {"spec", "config", "priority", "timeout",
+                                   "deadline"}
             if unknown:
                 raise ServeError(f"unknown job keys {sorted(unknown)}")
-            priority, timeout = self._job_fields(body)
+            priority, timeout, deadline = self._job_fields(body)
             record = self.service.submit(
                 body["spec"],
                 config=body.get("config"),
                 priority=priority,
-                timeout=timeout)
+                timeout=timeout,
+                deadline=deadline)
+        except QueueFullError as exc:
+            # Backpressure, not a client mistake: 503 + Retry-After tells
+            # a well-behaved client exactly when to come back.
+            self._error(503, str(exc), error_type="QueueFullError",
+                        extra={"retry_after": exc.retry_after},
+                        headers={"Retry-After":
+                                 f"{max(exc.retry_after, 0):g}"})
+            return
         except (ServeError, SerializationError, ReproError,
                 ValueError, TypeError, KeyError) as exc:
             # ValueError/TypeError/KeyError: structurally-plausible specs

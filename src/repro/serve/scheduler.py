@@ -4,7 +4,9 @@
 fingerprints them against the verdict cache, queues misses in the
 persistent :class:`~repro.serve.store.JobStore`, and drains the queue
 with a pool of worker threads, each handing claimed jobs to the
-configured executor (in-process engine or ``verify-spec`` subprocess).
+configured executor (in-process engine or ``verify-spec`` subprocess),
+always wrapped in a :class:`~repro.serve.resilience.SupervisedExecutor`
+(circuit breaker per link, optional failover chain).
 
 Scheduling is priority-then-FIFO (the store's ``claim_next`` order),
 cancellation is immediate for queued jobs and best-effort for running
@@ -13,6 +15,25 @@ enforced by the executor (preemptively for subprocesses, post-hoc for
 in-process runs).  A cache hit never touches an executor: the job is
 recorded ``done`` at submission with the cached verdict, its provenance
 re-marked ``cached: true`` so clients can see no new solve happened.
+
+Fault tolerance (PR 6), driven by one :class:`~repro.api.config
+.ServeConfig`:
+
+* every executor failure is classified against the taxonomy in
+  :mod:`repro.errors` and persisted per attempt in the store's
+  ``attempts`` table;
+* *transient* failures (crash, hang, malformed wire reply) are retried
+  with exponential backoff + deterministic jitter until the per-job
+  attempt budget runs out; *permanent* failures (bad specs, solver
+  rejections) fail terminally on first sight;
+* when every breaker in the executor chain is open, workers stop
+  claiming, and a job caught mid-flight is parked *without* charging its
+  attempt budget;
+* a queue-depth limit rejects submissions with
+  :class:`~repro.errors.QueueFullError` (HTTP 503 + ``Retry-After``);
+* a client deadline travels submit -> store -> executor: expired jobs are
+  failed at claim time instead of started, and the executor's timeout is
+  clipped to the remaining deadline so work never outlives its use.
 """
 
 from __future__ import annotations
@@ -20,13 +41,20 @@ from __future__ import annotations
 import json
 import math
 import threading
-from typing import Dict, List, Optional, Union
+import time
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.errors import ServeError
+from repro.errors import QueueFullError, ServeError
 from repro.serve.executors import make_executor
+from repro.serve.resilience import (
+    ExecutorUnavailableError,
+    SupervisedExecutor,
+    classify_failure,
+)
 from repro.serve.store import (
     JOB_QUEUED,
     JOB_RUNNING,
+    AttemptRecord,
     JobRecord,
     JobStore,
     job_fingerprint,
@@ -39,24 +67,38 @@ class VerificationService:
     """Asynchronous verification: submit Specs now, collect Verdicts later.
 
     ``store`` is a :class:`JobStore` or a path for one (``":memory:"``
-    for a transient service); ``executor`` an executor instance or name
-    (``"inprocess"`` / ``"subprocess"``); ``workers`` the number of
-    concurrent jobs; ``default_config`` the
+    for a transient service); ``executor`` an executor instance, a name
+    (``"inprocess"`` / ``"subprocess"``), or a *sequence* of either --
+    a failover chain, tried in order (e.g. ``("subprocess", "inprocess")``
+    degrades gracefully when subprocess spawning breaks); ``workers`` the
+    number of concurrent jobs; ``default_config`` the
     :class:`~repro.api.config.VerifyConfig` applied to submissions that
-    do not bundle their own.
+    do not bundle their own; ``serve_config`` the
+    :class:`~repro.api.config.ServeConfig` resilience knobs (retry
+    policy, circuit breakers, backpressure).
     """
 
     def __init__(self, store: Union[JobStore, str] = ":memory:",
-                 executor: Union[str, object] = "inprocess",
+                 executor: Union[str, object, Sequence] = "inprocess",
                  workers: int = 1,
                  default_config=None,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05,
+                 serve_config=None):
         if workers < 1:
             raise ServeError(f"workers must be positive, got {workers}")
-        from repro.api.config import VerifyConfig
+        from repro.api.config import ServeConfig, VerifyConfig
 
-        self.store = store if isinstance(store, JobStore) else JobStore(store)
-        self.executor = make_executor(executor)
+        self.serve_config = serve_config or ServeConfig()
+        self.retry_policy = self.serve_config.retry_policy()
+        if isinstance(store, JobStore):
+            self.store = store
+        else:
+            # The store's crash-loop ceiling must cover the retry budget,
+            # or claim_next would give a job up before its last retry.
+            self.store = JobStore(
+                store,
+                max_attempts=max(3, self.serve_config.retry_attempts))
+        self.executor = self._build_executor(executor)
         self.workers = int(workers)
         self.default_config = default_config or VerifyConfig()
         self.poll_interval = float(poll_interval)
@@ -69,6 +111,32 @@ class VerificationService:
         self.executed_jobs = 0
         self.cache_hits = 0
         self.worker_errors = 0
+        self.retries = 0
+        self.rejected_jobs = 0
+        self.parked_unavailable = 0
+        self.failures_by_type: Dict[str, int] = {}
+
+    def _build_executor(self, executor) -> SupervisedExecutor:
+        """Resolve names/instances into one supervised failover chain."""
+        if isinstance(executor, SupervisedExecutor):
+            return executor
+        links = (list(executor) if isinstance(executor, (list, tuple))
+                 else [executor])
+        if not links:
+            raise ServeError("executor chain must not be empty")
+
+        def _link(spec):
+            if spec == "subprocess":
+                from repro.serve.executors import SubprocessExecutor
+
+                return SubprocessExecutor(
+                    kill_grace=self.serve_config.kill_grace)
+            return make_executor(spec)
+
+        return SupervisedExecutor(
+            [_link(link) for link in links],
+            failure_threshold=self.serve_config.breaker_threshold,
+            reset_timeout=self.serve_config.breaker_reset)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "VerificationService":
@@ -104,15 +172,22 @@ class VerificationService:
 
     # ----------------------------------------------------------- submission
     def submit(self, spec, config=None, priority: int = 0,
-               timeout: Optional[float] = None) -> JobRecord:
+               timeout: Optional[float] = None,
+               deadline: Optional[float] = None) -> JobRecord:
         """Accept one verification request; returns its job record.
 
         ``spec`` is a Spec object or its wire dict; ``config`` a
-        VerifyConfig, its dict form, or ``None`` for the service default.
+        VerifyConfig, its dict form, or ``None`` for the service default;
+        ``timeout`` the per-attempt wall-clock budget; ``deadline`` the
+        *total* client budget in seconds from now -- after it passes the
+        job is failed instead of (re)started, and the executor timeout is
+        clipped to the remaining deadline.
         An identical ``(spec, config)`` already answered by this store is
         served from the verdict cache instantly -- the returned record is
         already ``done`` with ``cache_hit`` set and the verdict's
-        provenance marked ``cached``.
+        provenance marked ``cached``.  When the queue-depth limit is hit,
+        raises :class:`~repro.errors.QueueFullError` (cache hits are
+        exempt: they queue nothing).
         """
         from repro.api.config import VerifyConfig
         from repro.api.specs import Spec, spec_from_dict, spec_to_json
@@ -135,13 +210,16 @@ class VerificationService:
             raise ServeError(
                 f"submit needs a VerifyConfig or its dict form, got "
                 f"{type(config).__name__}")
-        if timeout is not None and \
-                not (timeout > 0 and math.isfinite(timeout)):
-            # The executors disagree on a non-positive budget (instant
-            # subprocess kill vs full solve discarded late), and an inf
-            # cannot survive the strict-JSON record; reject at the door.
-            raise ServeError(
-                f"job timeout must be positive and finite, got {timeout!r}")
+        for name, value in (("timeout", timeout), ("deadline", deadline)):
+            if value is not None and \
+                    not (value > 0 and math.isfinite(value)):
+                # The executors disagree on a non-positive budget (instant
+                # subprocess kill vs full solve discarded late), and an
+                # inf cannot survive the strict-JSON record; reject at the
+                # door.
+                raise ServeError(
+                    f"job {name} must be positive and finite, got "
+                    f"{value!r}")
 
         from repro.api.serialize import config_to_json
 
@@ -157,8 +235,20 @@ class VerificationService:
                 spec_json, config_json, fingerprint, priority=priority,
                 timeout=timeout, verdict_json=_mark_cached(cached),
                 cache_hit=True)
-        record = self.store.submit(spec_json, config_json, fingerprint,
-                                   priority=priority, timeout=timeout)
+        limit = self.serve_config.queue_limit
+        if limit is not None:
+            depth = self.store.queue_depth()
+            if depth >= limit:
+                with self._stats_lock:
+                    self.rejected_jobs += 1
+                raise QueueFullError(
+                    f"queue full ({depth} queued >= limit {limit}); "
+                    "retry later",
+                    retry_after=self.serve_config.retry_after)
+        record = self.store.submit(
+            spec_json, config_json, fingerprint, priority=priority,
+            timeout=timeout,
+            deadline=None if deadline is None else time.time() + deadline)
         self._wake.set()
         return record
 
@@ -170,12 +260,16 @@ class VerificationService:
              limit: Optional[int] = None) -> List[JobRecord]:
         return self.store.list_jobs(state=state, limit=limit)
 
+    def attempt_log(self, job_id: str) -> List[AttemptRecord]:
+        """Every recorded execution attempt of one job, oldest first."""
+        self.store.get(job_id)  # raises for unknown jobs
+        return self.store.attempt_log(job_id)
+
     def wait(self, job_id: str, timeout: Optional[float] = 60.0,
              poll: float = 0.02) -> JobRecord:
         """Block until the job reaches a terminal state."""
-        import time
-
         deadline = None if timeout is None else time.monotonic() + timeout
+        delay = poll
         while True:
             record = self.store.get(job_id)
             if record.terminal:
@@ -183,7 +277,10 @@ class VerificationService:
             if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {record.state} after {timeout:g}s")
-            time.sleep(poll)
+            time.sleep(delay)
+            # Capped exponential backoff: cheap while jobs are short,
+            # polite while they are long.
+            delay = min(delay * 1.5, 0.5)
 
     def verdict(self, job_id: str):
         """The finished job's :class:`~repro.api.verdict.Verdict` object."""
@@ -197,28 +294,49 @@ class VerificationService:
         return verdict_from_json(record.verdict_json)
 
     def cancel(self, job_id: str) -> str:
-        """Cancel a job; returns its state afterwards.  Queued jobs are
-        cancelled immediately; running jobs best-effort (the executor is
-        not interrupted, but the result is discarded and never cached)."""
-        state = self.store.cancel_queued(job_id)
-        if state == JOB_RUNNING:
+        """Cancel a job; returns its state afterwards.  Queued jobs
+        (including ones parked between retry attempts) are cancelled
+        immediately; running jobs best-effort (the executor is not
+        interrupted, but the result is discarded and never cached)."""
+        # Two passes cover the retry race: a job read as ``running`` may
+        # be requeued for backoff before the flag lands -- the second
+        # pass then cancels it in the queue.
+        for _ in range(2):
+            state = self.store.cancel_queued(job_id)
+            if state != JOB_RUNNING:
+                return state
             with self._cancel_lock:
                 self._cancel_requested.add(job_id)
-            # The job may have gone terminal between the state read and
-            # the flag: the worker's own cleanup has then already run, so
-            # drop the flag here (otherwise it would leak forever) and
-            # report the real final state.
             current = self.store.get(job_id).state
-            if current != JOB_RUNNING:
-                self._clear_cancel(job_id)
+            if current == JOB_RUNNING:
+                return JOB_RUNNING
+            # The job left ``running`` between the state read and the
+            # flag: the worker's own cleanup has then already run (or the
+            # job is queued again for a retry), so drop the flag here and
+            # handle the real state.
+            self._clear_cancel(job_id)
+            if current != JOB_QUEUED:
                 return current
-        return state
+        return self.store.get(job_id).state
 
     def stats(self) -> Dict:
         counts = self.store.counts()
         with self._stats_lock:
             executed, cache_hits = self.executed_jobs, self.cache_hits
             worker_errors = self.worker_errors
+            resilience = {
+                "retries": self.retries,
+                "rejected_jobs": self.rejected_jobs,
+                "parked_unavailable": self.parked_unavailable,
+                "failures_by_type": dict(self.failures_by_type),
+            }
+        resilience["retry_policy"] = {
+            "max_attempts": self.retry_policy.max_attempts,
+            "base_delay": self.retry_policy.base_delay,
+            "max_delay": self.retry_policy.max_delay,
+        }
+        resilience["queue_limit"] = self.serve_config.queue_limit
+        resilience["executor"] = self.executor.stats()
         return {
             "jobs": counts,
             "queued": counts[JOB_QUEUED],
@@ -230,6 +348,7 @@ class VerificationService:
             "recovered_jobs": self.store.recovered_jobs,
             "workers": self.workers,
             "executor": self.executor.name,
+            "resilience": resilience,
         }
 
     # -------------------------------------------------------------- workers
@@ -243,6 +362,11 @@ class VerificationService:
 
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
+            if not self.executor.available():
+                # Every breaker is open: claiming would only burn attempt
+                # budgets.  Sleep until the next half-open probe window.
+                self._stop.wait(self.poll_interval)
+                continue
             try:
                 record = self.store.claim_next()
             except Exception:
@@ -274,9 +398,11 @@ class VerificationService:
 
     def _run_job(self, record: JobRecord) -> None:
         job_id = record.job_id
+        terminal = False
         try:
             if self._cancelled(job_id):
                 self.store.mark_cancelled(job_id)
+                terminal = True
                 return
             # A duplicate of a job that *finished while this one queued*
             # is answered from the cache here instead of re-solving (the
@@ -289,33 +415,97 @@ class VerificationService:
                     self.cache_hits += 1
                 self.store.finish(job_id, _mark_cached(cached),
                                   cache_hit=True)
+                terminal = True
                 return
+            started = time.time()
+            timeout = record.timeout
+            if record.deadline is not None:
+                remaining = record.deadline - started
+                if remaining <= 0:
+                    # claim_next races the clock; re-check before working.
+                    self.store.fail(job_id,
+                                    "deadline exceeded before execution",
+                                    error_type="JobDeadlineError")
+                    terminal = True
+                    return
+                timeout = (remaining if timeout is None
+                           else min(timeout, remaining))
             try:
                 verdict_dict = self.executor.execute(
-                    record.spec_json, record.config_json,
-                    timeout=record.timeout)
-            except TimeoutError as exc:
-                self.store.fail(job_id, f"TimeoutError: {exc}")
-                return
-            except Exception as exc:  # noqa: BLE001 - must not kill workers
-                self.store.fail(job_id, f"{type(exc).__name__}: {exc}")
-                return
-            finally:
+                    record.spec_json, record.config_json, timeout=timeout)
+            except ExecutorUnavailableError:
+                # Nothing ever ran this job (all breakers opened between
+                # the availability check and the call): park it without
+                # charging its attempt budget, aligned to the next
+                # half-open probe window.
+                delay = max(self.poll_interval,
+                            min(self.serve_config.breaker_reset, 1.0))
+                self.store.requeue(job_id, not_before=time.time() + delay,
+                                   uncount=True)
                 with self._stats_lock:
-                    self.executed_jobs += 1
+                    self.parked_unavailable += 1
+                return
+            except Exception as exc:  # noqa: BLE001 - classified below
+                terminal = self._handle_failure(record, exc, started)
+                return
+            with self._stats_lock:
+                self.executed_jobs += 1
+            self.store.record_attempt(job_id, record.attempts, "ok",
+                                      started_at=started)
             verdict_json = json.dumps(verdict_dict, allow_nan=False,
                                       sort_keys=True)
             if self._cancelled(job_id):
                 # Cancelled while running: discard, crucially never cache.
                 self.store.mark_cancelled(job_id)
+                terminal = True
                 return
             self.store.finish(job_id, verdict_json)
             self.store.cache_put(record.fingerprint, verdict_json)
+            terminal = True
         finally:
-            # The job is terminal either way: drop any cancel flag so a
-            # long-lived service never accumulates them (cancel() only
-            # flags *running* jobs, so nothing re-adds it after this).
-            self._clear_cancel(job_id)
+            # Drop any cancel flag once the job is terminal.  A job
+            # *parked* for a retry (or breaker cool-down) keeps its flag,
+            # so the next claim cancels it immediately instead of
+            # re-running it.
+            if terminal:
+                self._clear_cancel(job_id)
+
+    def _handle_failure(self, record: JobRecord, exc: Exception,
+                        started: float) -> bool:
+        """Classify, persist, and route one failed attempt.  Returns True
+        when the job went terminal (vs parked for a retry)."""
+        job_id = record.job_id
+        error_type, transient = classify_failure(exc)
+        attempt = record.attempts  # the claim already bumped it
+        self.store.record_attempt(job_id, attempt, error_type,
+                                  error=str(exc), transient=transient,
+                                  started_at=started)
+        with self._stats_lock:
+            self.executed_jobs += 1
+            self.failures_by_type[error_type] = \
+                self.failures_by_type.get(error_type, 0) + 1
+        if self._cancelled(job_id):
+            self.store.mark_cancelled(job_id)
+            return True
+        if transient and self.retry_policy.should_retry(attempt, transient):
+            delay = self.retry_policy.delay(job_id, attempt)
+            if record.deadline is not None and \
+                    time.time() + delay >= record.deadline:
+                self.store.fail(
+                    job_id,
+                    f"{error_type}: {exc} (deadline leaves no room to "
+                    "retry)",
+                    error_type="JobDeadlineError")
+                return True
+            self.store.requeue(job_id, not_before=time.time() + delay)
+            with self._stats_lock:
+                self.retries += 1
+            return False
+        suffix = ("" if not transient
+                  else f" (gave up after {attempt} attempts)")
+        self.store.fail(job_id, f"{error_type}: {exc}{suffix}",
+                        error_type=error_type)
+        return True
 
 
 def _mark_cached(verdict_json: str) -> str:

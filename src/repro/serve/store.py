@@ -15,6 +15,16 @@ in flight inside a dead process and are *requeued exactly once per crash*
 repeatedly killed mid-run are failed at ``max_attempts`` instead of
 crash-looping forever.
 
+Resilience (PR 6) extends the row with scheduling state the retry
+machinery needs: ``not_before`` (a backoff-requeued job is invisible to
+``claim_next`` until then), ``deadline`` (absolute unix time after which
+the answer is useless; expired jobs are failed at claim time instead of
+started), and ``error_type`` (the taxonomy class of the terminal
+failure).  Every *finished execution attempt* -- success or classified
+failure -- is persisted in the ``attempts`` table, so the full failure
+history of a job survives restarts and ships over the wire as its
+``attempt_log``.
+
 The verdict cache is a second table keyed by the canonical-JSON
 fingerprint of ``(spec, config)`` (:func:`job_fingerprint`): resubmitting
 an identical request is answered from the cache without touching a
@@ -48,6 +58,7 @@ __all__ = [
     "JOB_STATES",
     "TERMINAL_STATES",
     "job_fingerprint",
+    "AttemptRecord",
     "JobRecord",
     "JobStore",
 ]
@@ -76,7 +87,10 @@ CREATE TABLE IF NOT EXISTS jobs (
     finished_at  REAL,
     verdict_json TEXT,
     error        TEXT,
-    cache_hit    INTEGER NOT NULL DEFAULT 0
+    cache_hit    INTEGER NOT NULL DEFAULT 0,
+    not_before   REAL,
+    deadline     REAL,
+    error_type   TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state
     ON jobs (state, priority DESC, seq ASC);
@@ -86,7 +100,26 @@ CREATE TABLE IF NOT EXISTS verdict_cache (
     created_at   REAL NOT NULL,
     hits         INTEGER NOT NULL DEFAULT 0
 );
+CREATE TABLE IF NOT EXISTS attempts (
+    job_id       TEXT NOT NULL,
+    attempt      INTEGER NOT NULL,
+    started_at   REAL,
+    finished_at  REAL NOT NULL,
+    outcome      TEXT NOT NULL,
+    transient    INTEGER NOT NULL DEFAULT 0,
+    error        TEXT,
+    PRIMARY KEY (job_id, attempt)
+);
 """
+
+#: Columns added after PR 5; a pre-resilience ``--db`` is upgraded in
+#: place on open (``CREATE IF NOT EXISTS`` ignores new columns on an
+#: existing table, so each is ALTERed in individually).
+_JOBS_MIGRATIONS = {
+    "not_before": "ALTER TABLE jobs ADD COLUMN not_before REAL",
+    "deadline": "ALTER TABLE jobs ADD COLUMN deadline REAL",
+    "error_type": "ALTER TABLE jobs ADD COLUMN error_type TEXT",
+}
 
 
 #: Salt mixed into every job fingerprint.  The verdict cache can outlive
@@ -141,6 +174,9 @@ class JobRecord:
     verdict_json: Optional[str]
     error: Optional[str]
     cache_hit: bool
+    not_before: Optional[float] = None
+    deadline: Optional[float] = None
+    error_type: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -161,6 +197,9 @@ class JobRecord:
             "finished_at": self.finished_at,
             "cache_hit": self.cache_hit,
             "error": self.error,
+            "error_type": self.error_type,
+            "not_before": self.not_before,
+            "deadline": self.deadline,
         }
         if include_verdict:
             data["verdict"] = (None if self.verdict_json is None
@@ -168,9 +207,34 @@ class JobRecord:
         return data
 
 
+@dataclass
+class AttemptRecord:
+    """One finished execution attempt of one job (success or classified
+    failure), as persisted in the ``attempts`` table."""
+
+    job_id: str
+    attempt: int
+    started_at: Optional[float]
+    finished_at: float
+    outcome: str  # "ok" or the taxonomy error-type name
+    transient: bool
+    error: Optional[str]
+
+    def to_public_dict(self) -> Dict:
+        return {
+            "attempt": self.attempt,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "outcome": self.outcome,
+            "transient": self.transient,
+            "error": self.error,
+        }
+
+
 _ROW_COLUMNS = ("job_id, fingerprint, spec_json, config_json, state, "
                 "priority, timeout, attempts, submitted_at, started_at, "
-                "finished_at, verdict_json, error, cache_hit")
+                "finished_at, verdict_json, error, cache_hit, not_before, "
+                "deadline, error_type")
 
 
 def _record(row) -> JobRecord:
@@ -179,7 +243,8 @@ def _record(row) -> JobRecord:
         config_json=row[3], state=row[4], priority=int(row[5]),
         timeout=row[6], attempts=int(row[7]), submitted_at=row[8],
         started_at=row[9], finished_at=row[10], verdict_json=row[11],
-        error=row[12], cache_hit=bool(row[13]),
+        error=row[12], cache_hit=bool(row[13]), not_before=row[14],
+        deadline=row[15], error_type=row[16],
     )
 
 
@@ -195,6 +260,11 @@ class JobStore:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            existing = {row[1] for row in self._conn.execute(
+                "PRAGMA table_info(jobs)")}
+            for column, statement in _JOBS_MIGRATIONS.items():
+                if column not in existing:
+                    self._conn.execute(statement)
             self._conn.commit()
         #: Jobs found mid-``running`` on open (a previous process died
         #: with them in flight) and requeued -- exactly once per crash.
@@ -204,8 +274,9 @@ class JobStore:
     def _recover(self) -> int:
         with self._lock:
             cursor = self._conn.execute(
-                "UPDATE jobs SET state = ?, started_at = NULL "
-                "WHERE state = ?", (JOB_QUEUED, JOB_RUNNING))
+                "UPDATE jobs SET state = ?, started_at = NULL, "
+                "not_before = NULL WHERE state = ?",
+                (JOB_QUEUED, JOB_RUNNING))
             self._conn.commit()
             return cursor.rowcount
 
@@ -223,22 +294,24 @@ class JobStore:
     def submit(self, spec_json: str, config_json: str, fingerprint: str,
                priority: int = 0, timeout: Optional[float] = None,
                verdict_json: Optional[str] = None,
-               cache_hit: bool = False) -> JobRecord:
+               cache_hit: bool = False,
+               deadline: Optional[float] = None) -> JobRecord:
         """Accept one job.  With ``verdict_json`` the job is recorded
         already-``done`` (the scheduler's cache-hit path: the answer is
-        known before any executor runs)."""
+        known before any executor runs).  ``deadline`` is *absolute* unix
+        time; an expired job is failed at claim time, never started."""
         now = time.time()
         state = JOB_DONE if verdict_json is not None else JOB_QUEUED
         with self._lock:
             cursor = self._conn.execute(
                 "INSERT INTO jobs (job_id, fingerprint, spec_json, "
                 "config_json, state, priority, timeout, submitted_at, "
-                "finished_at, verdict_json, cache_hit) "
-                "VALUES ('', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "finished_at, verdict_json, cache_hit, deadline) "
+                "VALUES ('', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (fingerprint, spec_json, config_json, state, int(priority),
                  timeout, now,
                  now if verdict_json is not None else None,
-                 verdict_json, int(cache_hit)))
+                 verdict_json, int(cache_hit), deadline))
             seq = cursor.lastrowid
             job_id = f"job-{seq:08d}"
             self._conn.execute(
@@ -282,47 +355,135 @@ class JobStore:
         counts.update({state: int(n) for state, n in rows})
         return counts
 
+    def queue_depth(self) -> int:
+        """Number of ``queued`` jobs (the backpressure signal; jobs parked
+        for backoff still occupy queue space)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state = ?",
+                (JOB_QUEUED,)).fetchone()
+        return int(row[0])
+
     # ----------------------------------------------------------- scheduling
     def claim_next(self) -> Optional[JobRecord]:
         """Atomically pop the next runnable job: highest priority first,
-        FIFO within a priority.  Jobs already claimed ``max_attempts``
-        times (crash-looped) are failed instead of handed out again."""
+        FIFO within a priority.  Backoff-parked jobs (``not_before`` in
+        the future) are invisible; jobs whose ``deadline`` already passed
+        are failed here instead of handed out (work must never start
+        after its answer became useless); jobs already claimed
+        ``max_attempts`` times (crash-looped) are failed instead of
+        handed out again."""
         while True:
+            now = time.time()
             with self._lock:
+                # Expire deadline-passed queued jobs first, regardless of
+                # backoff parking: a parked job's deadline can lapse too.
+                expired = self._conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, "
+                    "error = ?, error_type = ? "
+                    "WHERE state = ? AND deadline IS NOT NULL "
+                    "AND deadline <= ?",
+                    (JOB_FAILED, now,
+                     "deadline exceeded before execution",
+                     "JobDeadlineError", JOB_QUEUED, now))
+                if expired.rowcount:
+                    self._conn.commit()
                 row = self._conn.execute(
                     f"SELECT {_ROW_COLUMNS} FROM jobs WHERE state = ? "
+                    "AND (not_before IS NULL OR not_before <= ?) "
                     "ORDER BY priority DESC, seq ASC LIMIT 1",
-                    (JOB_QUEUED,)).fetchone()
+                    (JOB_QUEUED, now)).fetchone()
                 if row is None:
                     return None
                 record = _record(row)
                 if record.attempts >= self.max_attempts:
                     self._conn.execute(
                         "UPDATE jobs SET state = ?, finished_at = ?, "
-                        "error = ? WHERE job_id = ?",
+                        "error = ?, error_type = ? WHERE job_id = ?",
                         (JOB_FAILED, time.time(),
                          f"gave up after {record.attempts} crashed attempts",
-                         record.job_id))
+                         "ExecutorCrashError", record.job_id))
                     self._conn.commit()
                     continue
                 self._conn.execute(
                     "UPDATE jobs SET state = ?, started_at = ?, "
-                    "attempts = attempts + 1 WHERE job_id = ?",
+                    "not_before = NULL, attempts = attempts + 1 "
+                    "WHERE job_id = ?",
                     (JOB_RUNNING, time.time(), record.job_id))
                 self._conn.commit()
             return self.get(record.job_id)
 
+    def next_eligible_at(self) -> Optional[float]:
+        """The earliest ``not_before`` among parked queued jobs (``None``
+        when nothing is parked): lets the scheduler sleep precisely."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MIN(not_before) FROM jobs "
+                "WHERE state = ? AND not_before IS NOT NULL",
+                (JOB_QUEUED,)).fetchone()
+        return None if row is None or row[0] is None else float(row[0])
+
+    def requeue(self, job_id: str, not_before: Optional[float] = None,
+                uncount: bool = False) -> None:
+        """Move a ``running`` job back to ``queued`` -- the retry path.
+        ``not_before`` parks it until that absolute time (backoff);
+        ``uncount`` refunds the claim's attempt bump (used when no
+        executor ever ran the job, e.g. every breaker was open)."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, started_at = NULL, "
+                "not_before = ?, attempts = MAX(attempts - ?, 0) "
+                "WHERE job_id = ? AND state = ?",
+                (JOB_QUEUED, not_before, int(bool(uncount)),
+                 job_id, JOB_RUNNING))
+            self._conn.commit()
+        if cursor.rowcount != 1:
+            raise ServeError(
+                f"job {job_id!r} is not {JOB_RUNNING!r} (cannot requeue)")
+
+    # ------------------------------------------------------------- attempts
+    def record_attempt(self, job_id: str, attempt: int, outcome: str,
+                       error: Optional[str] = None, transient: bool = False,
+                       started_at: Optional[float] = None) -> None:
+        """Persist one finished execution attempt (``outcome`` is ``"ok"``
+        or the taxonomy error-type name).  ``INSERT OR REPLACE``: a crash
+        between the executor returning and this write loses at worst one
+        log row, never a job."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO attempts (job_id, attempt, "
+                "started_at, finished_at, outcome, transient, error) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (job_id, int(attempt), started_at, time.time(), outcome,
+                 int(bool(transient)), error))
+            self._conn.commit()
+
+    def attempt_log(self, job_id: str) -> List[AttemptRecord]:
+        """Every recorded attempt of one job, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, attempt, started_at, finished_at, outcome, "
+                "transient, error FROM attempts WHERE job_id = ? "
+                "ORDER BY attempt ASC", (job_id,)).fetchall()
+        return [AttemptRecord(job_id=row[0], attempt=int(row[1]),
+                              started_at=row[2], finished_at=row[3],
+                              outcome=row[4], transient=bool(row[5]),
+                              error=row[6])
+                for row in rows]
+
     def _transition(self, job_id: str, from_state: str, to_state: str,
                     verdict_json: Optional[str] = None,
                     error: Optional[str] = None,
-                    cache_hit: bool = False) -> None:
+                    cache_hit: bool = False,
+                    error_type: Optional[str] = None) -> None:
         with self._lock:
             cursor = self._conn.execute(
                 "UPDATE jobs SET state = ?, finished_at = ?, "
-                "verdict_json = ?, error = ?, cache_hit = MAX(cache_hit, ?) "
+                "verdict_json = ?, error = ?, error_type = ?, "
+                "cache_hit = MAX(cache_hit, ?) "
                 "WHERE job_id = ? AND state = ?",
-                (to_state, time.time(), verdict_json, error, int(cache_hit),
-                 job_id, from_state))
+                (to_state, time.time(), verdict_json, error, error_type,
+                 int(cache_hit), job_id, from_state))
             self._conn.commit()
         if cursor.rowcount != 1:
             raise ServeError(
@@ -337,8 +498,10 @@ class JobStore:
         self._transition(job_id, JOB_RUNNING, JOB_DONE,
                          verdict_json=verdict_json, cache_hit=cache_hit)
 
-    def fail(self, job_id: str, error: str) -> None:
-        self._transition(job_id, JOB_RUNNING, JOB_FAILED, error=error)
+    def fail(self, job_id: str, error: str,
+             error_type: Optional[str] = None) -> None:
+        self._transition(job_id, JOB_RUNNING, JOB_FAILED, error=error,
+                         error_type=error_type)
 
     def mark_cancelled(self, job_id: str) -> None:
         """A *running* job whose result was discarded post-cancellation."""

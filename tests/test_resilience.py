@@ -1,0 +1,664 @@
+"""Fault tolerance of the serving layer: failure taxonomy, retry policy,
+circuit breakers, executor supervision/failover, deterministic fault
+injection, backpressure, and deadline propagation (the chaos suite)."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ContainmentSpec,
+    MaximizeSpec,
+    ServeConfig,
+    VerificationEngine,
+    VerifyConfig,
+    canonical_verdict_json,
+)
+from repro.domains import Box
+from repro.errors import (
+    ExecutorCrashError,
+    JobTimeoutError,
+    MalformedWireError,
+    QueueFullError,
+    ReproError,
+    ServeError,
+)
+from repro.serve import (
+    FAULT_KINDS,
+    JOB_DONE,
+    JOB_FAILED,
+    CircuitBreaker,
+    ExecutorUnavailableError,
+    FaultInjectingExecutor,
+    InProcessExecutor,
+    RetryPolicy,
+    ServeClient,
+    SupervisedExecutor,
+    VerificationService,
+    classify_failure,
+    serve_http,
+)
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+)
+
+
+@pytest.fixture
+def maximize_spec(fig2, enlarged_box2):
+    return MaximizeSpec(network=fig2, input_box=enlarged_box2,
+                        objective=np.array([1.0]))
+
+
+@pytest.fixture
+def bad_spec(fig2):
+    """Deserializes fine but raises at solve time (dim mismatch)."""
+    return ContainmentSpec(network=fig2,
+                           input_box=Box(-np.ones(5), np.ones(5)),
+                           target=Box(-np.ones(1), np.ones(1)))
+
+
+#: Tight-loop knobs so retry/backoff tests converge in milliseconds.
+_FAST = ServeConfig(retry_attempts=3, retry_base_delay=0.01,
+                    retry_max_delay=0.02, retry_jitter=0.5,
+                    breaker_threshold=5, breaker_reset=0.05)
+
+
+def _service(executor, serve_config=_FAST, **kwargs):
+    kwargs.setdefault("poll_interval", 0.01)
+    return VerificationService(executor=executor, serve_config=serve_config,
+                               **kwargs)
+
+
+class _FlakyExecutor:
+    """Scripted stub: raise the queued exceptions in order, then succeed
+    with a canned verdict dict."""
+
+    name = "flaky"
+
+    def __init__(self, errors=(), verdict=None):
+        self.errors = list(errors)
+        self.calls = 0
+        self.verdict = verdict if verdict is not None else {"stub": True}
+
+    def execute(self, spec_json, config_json, timeout=None):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return self.verdict
+
+
+class TestClassifyFailure:
+    def test_taxonomy_classes(self):
+        assert classify_failure(ExecutorCrashError("x")) == \
+            ("ExecutorCrashError", True)
+        assert classify_failure(JobTimeoutError("x")) == \
+            ("JobTimeoutError", True)
+        assert classify_failure(MalformedWireError("x")) == \
+            ("MalformedWireError", True)
+        assert classify_failure(ExecutorUnavailableError("x")) == \
+            ("ExecutorUnavailableError", True)
+
+    def test_builtin_timeout_is_transient(self):
+        # Pre-taxonomy executors raised the bare builtin.
+        assert classify_failure(TimeoutError("old")) == \
+            ("JobTimeoutError", True)
+
+    def test_solver_and_spec_errors_are_permanent(self):
+        for exc in (ReproError("bad"), ValueError("bad"), TypeError("bad"),
+                    KeyError("bad")):
+            error_type, transient = classify_failure(exc)
+            assert error_type == type(exc).__name__
+            assert transient is False
+
+    def test_malformed_wire_beats_its_repro_error_ancestry(self):
+        # MalformedWireError IS-A ServeError IS-A ReproError, but the wire
+        # corruption is an infrastructure fault: must stay transient.
+        assert classify_failure(MalformedWireError("torn"))[1] is True
+
+    def test_unknown_exceptions_default_transient(self):
+        assert classify_failure(OSError("disk"))[1] is True
+        assert classify_failure(RuntimeError("?"))[1] is True
+
+
+class TestRetryPolicy:
+    def test_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1) and policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert not policy.should_retry(1, transient=False)
+
+    def test_never_retry_with_budget_one(self):
+        assert not RetryPolicy(max_attempts=1).should_retry(1)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        assert policy.delay("j", 1) == pytest.approx(0.1)
+        assert policy.delay("j", 2) == pytest.approx(0.2)
+        assert policy.delay("j", 3) == pytest.approx(0.4)
+        assert policy.delay("j", 4) == pytest.approx(0.5)  # capped
+        assert policy.delay("j", 9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                             jitter=0.5)
+        first = policy.delay("job-00000001", 1)
+        assert first == policy.delay("job-00000001", 1)  # reproducible
+        assert 0.5 <= first <= 1.0  # shrunk by at most the jitter fraction
+        # Different jobs (and attempts) de-synchronise.
+        assert first != policy.delay("job-00000002", 1)
+        assert first != policy.delay("job-00000001", 2)
+
+    def test_validation(self):
+        with pytest.raises(ServeError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ServeError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ServeError, match="base_delay"):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+
+
+class TestCircuitBreaker:
+    def _clocked(self, threshold=2, reset=10.0):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 reset_timeout=reset,
+                                 clock=lambda: now[0])
+        return breaker, now
+
+    def test_opens_after_consecutive_transient_failures(self):
+        breaker, _ = self._clocked(threshold=2)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow() and not breaker.available()
+        assert breaker.open_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self._clocked(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED  # streak broken, not 2 yet
+
+    def test_permanent_failures_do_not_count(self):
+        breaker, _ = self._clocked(threshold=1)
+        for _ in range(5):
+            breaker.record_failure(transient=False)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        breaker, now = self._clocked(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        now[0] = 10.0  # cool-down elapsed
+        assert breaker.state == BREAKER_HALF_OPEN
+        # available() peeks without claiming; allow() claims the one slot.
+        assert breaker.available()
+        assert breaker.allow()
+        assert not breaker.allow()  # second caller blocked during probe
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.probe_count == 1
+
+    def test_half_open_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, now = self._clocked(threshold=1, reset=10.0)
+        breaker.record_failure()
+        now[0] = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.open_count == 2
+        now[0] = 19.0  # 9s into the *new* cool-down: still open
+        assert breaker.state == BREAKER_OPEN
+        now[0] = 20.0
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_stats(self):
+        breaker, _ = self._clocked(threshold=1)
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats["state"] == BREAKER_OPEN
+        assert stats["consecutive_failures"] == 1
+        assert stats["open_count"] == 1
+
+
+class TestSupervisedExecutor:
+    def test_single_link_keeps_inner_name(self):
+        supervised = SupervisedExecutor([InProcessExecutor()])
+        assert supervised.name == "inprocess"
+
+    def test_failover_on_transient_failure(self):
+        primary = _FlakyExecutor([ExecutorCrashError("boom")] * 10)
+        backup = _FlakyExecutor(verdict={"from": "backup"})
+        supervised = SupervisedExecutor([primary, backup])
+        assert supervised.execute("{}", "{}") == {"from": "backup"}
+        assert primary.calls == 1 and backup.calls == 1
+        stats = supervised.stats()
+        assert stats["failovers"] == 1
+        assert stats["chain"][0]["failures"] == 1
+        assert stats["chain"][1]["successes"] == 1
+
+    def test_permanent_failure_propagates_immediately(self):
+        primary = _FlakyExecutor([ReproError("bad spec")])
+        backup = _FlakyExecutor()
+        supervised = SupervisedExecutor([primary, backup])
+        with pytest.raises(ReproError, match="bad spec"):
+            supervised.execute("{}", "{}")
+        assert backup.calls == 0  # no executor can fix a bad job
+
+    def test_open_breaker_skips_to_next_link(self):
+        primary = _FlakyExecutor([ExecutorCrashError("x")] * 10)
+        backup = _FlakyExecutor(verdict={"from": "backup"})
+        supervised = SupervisedExecutor([primary, backup],
+                                        failure_threshold=2,
+                                        reset_timeout=60.0)
+        for _ in range(2):
+            supervised.execute("{}", "{}")
+        assert supervised.breakers[0].state == BREAKER_OPEN
+        supervised.execute("{}", "{}")
+        assert primary.calls == 2  # breaker open: not even tried
+        assert backup.calls == 3
+
+    def test_all_breakers_open_raises_unavailable(self):
+        primary = _FlakyExecutor([ExecutorCrashError("x")] * 10)
+        supervised = SupervisedExecutor([primary], failure_threshold=1,
+                                        reset_timeout=60.0)
+        with pytest.raises(ExecutorCrashError):
+            supervised.execute("{}", "{}")
+        assert not supervised.available()
+        with pytest.raises(ExecutorUnavailableError, match="flaky=open"):
+            supervised.execute("{}", "{}")
+        assert primary.calls == 1
+
+    def test_last_transient_error_surfaces_when_all_links_fail(self):
+        supervised = SupervisedExecutor([
+            _FlakyExecutor([ExecutorCrashError("first")] * 10),
+            _FlakyExecutor([MalformedWireError("second")] * 10)])
+        with pytest.raises(MalformedWireError, match="second"):
+            supervised.execute("{}", "{}")
+
+
+class TestFaultInjection:
+    def test_scripted_faults_raise_the_right_types(self, maximize_spec):
+        from repro.api import config_to_json, spec_to_json
+
+        spec_json = spec_to_json(maximize_spec, sort_keys=True)
+        config_json = config_to_json(VerifyConfig())
+        injector = FaultInjectingExecutor(
+            InProcessExecutor(), hang_time=0.01,
+            faults=["crash", "hang", "truncated_json", "garbage_stdout",
+                    "nonzero_exit", None])
+        with pytest.raises(ExecutorCrashError, match="injected"):
+            injector.execute(spec_json, config_json)
+        with pytest.raises(JobTimeoutError, match="injected"):
+            injector.execute(spec_json, config_json, timeout=30.0)
+        with pytest.raises(MalformedWireError, match="unparseable"):
+            injector.execute(spec_json, config_json)
+        with pytest.raises(MalformedWireError, match="unparseable"):
+            injector.execute(spec_json, config_json)
+        with pytest.raises(ExecutorCrashError, match="exited 7"):
+            injector.execute(spec_json, config_json)
+        # Script exhausted: clean runs from here on.
+        verdict = injector.execute(spec_json, config_json)
+        assert verdict["verdict"] == "maximize"
+        assert injector.calls == 6
+        assert injector.injected["crash"] == 1
+        assert injector.injected["hang"] == 1
+
+    def test_seeded_schedule_is_reproducible(self):
+        def schedule(seed):
+            injector = FaultInjectingExecutor(_FlakyExecutor(),
+                                              fault_rate=0.4, seed=seed)
+            kinds = []
+            for _ in range(50):
+                try:
+                    injector.execute("{}", "{}", timeout=30.0)
+                    kinds.append(None)
+                except Exception as exc:  # noqa: BLE001 - recording kinds
+                    kinds.append(type(exc).__name__)
+            return kinds
+
+        first = schedule(seed=7)
+        assert first == schedule(seed=7)  # same seed, same chaos
+        assert first != schedule(seed=8)  # different seed, different chaos
+        assert any(k is not None for k in first)
+        assert any(k is None for k in first)
+
+    def test_rate_zero_injects_nothing(self):
+        injector = FaultInjectingExecutor(_FlakyExecutor(), fault_rate=0.0,
+                                          seed=3)
+        for _ in range(20):
+            injector.execute("{}", "{}")
+        assert sum(injector.injected.values()) == 0
+
+    def test_rejects_unknown_kinds(self):
+        with pytest.raises(ServeError, match="unknown fault kinds"):
+            FaultInjectingExecutor(_FlakyExecutor(), kinds=("nope",))
+        with pytest.raises(ServeError, match="unknown scripted"):
+            FaultInjectingExecutor(_FlakyExecutor(), faults=["nope"])
+        assert set(FAULT_KINDS) >= {"crash", "hang", "truncated_json"}
+
+
+class TestServiceRetries:
+    def test_transient_faults_retry_to_success(self, maximize_spec):
+        """Crash then torn wire then success: the job must come out done,
+        with the full attempt history persisted."""
+        injector = FaultInjectingExecutor(
+            InProcessExecutor(), faults=["crash", "truncated_json", None])
+        with _service(injector) as service:
+            record = service.wait(service.submit(maximize_spec).job_id,
+                                  timeout=30)
+            assert record.state == JOB_DONE
+            assert record.attempts == 3
+            log = service.attempt_log(record.job_id)
+            assert [a.outcome for a in log] == \
+                ["ExecutorCrashError", "MalformedWireError", "ok"]
+            assert [a.transient for a in log] == [True, True, False]
+            assert "injected" in log[0].error
+            stats = service.stats()
+            assert stats["resilience"]["retries"] == 2
+            assert stats["resilience"]["failures_by_type"] == {
+                "ExecutorCrashError": 1, "MalformedWireError": 1}
+
+    def test_verdict_identical_to_fault_free_run(self, maximize_spec):
+        """Once faults clear, the retried verdict must be byte-identical
+        (canonical form) to a never-faulted solve, and cached."""
+        with _service("inprocess") as clean:
+            clean_record = clean.wait(clean.submit(maximize_spec).job_id,
+                                      timeout=30)
+            clean_canonical = canonical_verdict_json(
+                clean.verdict(clean_record.job_id))
+        injector = FaultInjectingExecutor(
+            InProcessExecutor(), faults=["crash", "garbage_stdout", None])
+        with _service(injector) as chaotic:
+            record = chaotic.wait(chaotic.submit(maximize_spec).job_id,
+                                  timeout=30)
+            assert record.state == JOB_DONE
+            assert canonical_verdict_json(chaotic.verdict(record.job_id)) \
+                == clean_canonical
+            # Only the final good verdict reached the cache.
+            assert chaotic.store.cache_stats()["entries"] == 1
+
+    def test_budget_exhaustion_fails_terminally(self, maximize_spec):
+        injector = FaultInjectingExecutor(InProcessExecutor(),
+                                          faults=["crash"] * 10)
+        with _service(injector) as service:
+            record = service.wait(service.submit(maximize_spec).job_id,
+                                  timeout=30)
+            assert record.state == JOB_FAILED
+            assert record.error_type == "ExecutorCrashError"
+            assert "gave up after 3 attempts" in record.error
+            assert record.attempts == 3
+            assert len(service.attempt_log(record.job_id)) == 3
+            # A failed job must never poison the verdict cache.
+            assert service.store.cache_stats()["entries"] == 0
+
+    def test_permanent_failure_never_retries(self, bad_spec):
+        with _service("inprocess") as service:
+            record = service.wait(service.submit(bad_spec).job_id,
+                                  timeout=30)
+            assert record.state == JOB_FAILED
+            assert record.attempts == 1
+            assert "ShapeError" in record.error
+            assert record.error_type == "ShapeError"
+            assert service.stats()["resilience"]["retries"] == 0
+
+    def test_each_fault_kind_reaches_a_correct_terminal_state(
+            self, maximize_spec):
+        """One job per fault kind (fault then clean): every kind must be
+        absorbed into a done verdict, with its type in the attempt log."""
+        expected = {"crash": "ExecutorCrashError",
+                    "hang": "JobTimeoutError",
+                    "truncated_json": "MalformedWireError",
+                    "garbage_stdout": "MalformedWireError",
+                    "nonzero_exit": "ExecutorCrashError",
+                    "slow_start": "ok"}  # slow start succeeds, no fault
+        for kind, outcome in expected.items():
+            injector = FaultInjectingExecutor(InProcessExecutor(),
+                                              faults=[kind], hang_time=0.01)
+            with _service(injector) as service:
+                record = service.wait(
+                    service.submit(maximize_spec, timeout=30.0).job_id,
+                    timeout=30)
+                assert record.state == JOB_DONE, kind
+                log = service.attempt_log(record.job_id)
+                assert log[0].outcome == outcome, kind
+
+    def test_breaker_cycle_open_probe_recover(self, maximize_spec):
+        """Enough consecutive faults open the breaker; once faults clear,
+        the half-open probe closes it and jobs flow again."""
+        injector = FaultInjectingExecutor(InProcessExecutor(),
+                                          faults=["crash"] * 2)
+        config = _FAST.replace(breaker_threshold=2, breaker_reset=0.05,
+                               retry_attempts=5)
+        with _service(injector, serve_config=config) as service:
+            record = service.wait(service.submit(maximize_spec).job_id,
+                                  timeout=30)
+            assert record.state == JOB_DONE  # recovered after the probe
+            breaker = service.executor.breakers[0]
+            assert breaker.open_count >= 1
+            assert breaker.probe_count >= 1
+            assert breaker.state == BREAKER_CLOSED
+            health = service.stats()["resilience"]["executor"]
+            assert health["available"] is True
+
+    def test_failover_chain_degrades_gracefully(self, fig2,
+                                                enlarged_box2):
+        """Primary permanently broken: after its breaker opens, jobs keep
+        completing on the in-process fallback."""
+        broken = FaultInjectingExecutor(InProcessExecutor(), fault_rate=1.0,
+                                        seed=0, kinds=("crash",))
+        config = _FAST.replace(breaker_threshold=2, breaker_reset=30.0)
+        with _service([broken, InProcessExecutor()],
+                      serve_config=config) as service:
+            assert service.executor.name.startswith("fault(")
+            for scale in (1.0, 2.0, 3.0):  # distinct specs: no cache hits
+                spec = MaximizeSpec(network=fig2, input_box=enlarged_box2,
+                                    objective=np.array([scale]))
+                record = service.wait(
+                    service.submit(spec).job_id, timeout=30)
+                assert record.state == JOB_DONE
+            stats = service.stats()["resilience"]["executor"]
+            assert stats["failovers"] >= 1
+            assert stats["chain"][1]["successes"] >= 1
+            # Primary breaker opened after 2 consecutive crashes, so later
+            # jobs went straight to the fallback without burning retries.
+            assert stats["chain"][0]["breaker"]["open_count"] >= 1
+
+
+class TestBackpressureAndDeadlines:
+    def test_queue_limit_rejects_with_retry_after(self, maximize_spec,
+                                                  fig2, unit_box2):
+        other = MaximizeSpec(network=fig2, input_box=unit_box2,
+                             objective=np.array([1.0]))
+        config = _FAST.replace(queue_limit=1, retry_after=2.5)
+        service = _service("inprocess", serve_config=config)  # not started
+        try:
+            service.submit(maximize_spec)
+            with pytest.raises(QueueFullError) as excinfo:
+                service.submit(other)
+            assert excinfo.value.retry_after == 2.5
+            assert service.stats()["resilience"]["rejected_jobs"] == 1
+        finally:
+            service.close()
+
+    def test_cache_hits_bypass_the_queue_limit(self, maximize_spec, fig2,
+                                               unit_box2):
+        from repro.api import verdict_to_json
+        from repro.serve import job_fingerprint
+
+        other = MaximizeSpec(network=fig2, input_box=unit_box2,
+                             objective=np.array([1.0]))
+        config = _FAST.replace(queue_limit=1)
+        service = _service("inprocess", serve_config=config)  # not started
+        try:
+            # Seed the cache for `other` the way a finished job would.
+            verdict = VerificationEngine(service.default_config).verify(
+                other)
+            service.store.cache_put(
+                job_fingerprint(other, service.default_config),
+                verdict_to_json(verdict))
+            service.submit(maximize_spec)  # occupies the whole queue
+            assert service.store.queue_depth() == 1
+            # A cached duplicate queues nothing, so load shedding must
+            # not reject the one request that costs no work.
+            record = service.submit(other)
+            assert record.state == JOB_DONE
+            assert record.cache_hit is True
+            with pytest.raises(QueueFullError):
+                service.submit(maximize_spec, priority=1)  # true new work
+        finally:
+            service.close()
+
+    def test_expired_deadline_never_starts(self, maximize_spec):
+        service = _service("inprocess")  # workers not started yet
+        try:
+            record = service.submit(maximize_spec, deadline=0.01)
+            assert record.deadline is not None
+            time.sleep(0.05)  # deadline lapses while nothing runs
+            service.start()
+            final = service.wait(record.job_id, timeout=30)
+            assert final.state == JOB_FAILED
+            assert final.error_type == "JobDeadlineError"
+            assert "deadline exceeded before execution" in final.error
+            # The solver never ran: no attempts, nothing cached.
+            assert service.attempt_log(record.job_id) == []
+            assert service.store.cache_stats()["entries"] == 0
+        finally:
+            service.close()
+
+    def test_deadline_cuts_retry_short(self, maximize_spec):
+        """A transient failure with no deadline room left must fail as a
+        deadline error instead of parking a doomed retry."""
+        injector = FaultInjectingExecutor(InProcessExecutor(),
+                                          faults=["crash"] * 10)
+        config = _FAST.replace(retry_base_delay=5.0, retry_max_delay=5.0,
+                               retry_jitter=0.0)
+        with _service(injector, serve_config=config) as service:
+            record = service.wait(
+                service.submit(maximize_spec, deadline=2.0).job_id,
+                timeout=30)
+            assert record.state == JOB_FAILED
+            assert record.error_type == "JobDeadlineError"
+            assert "no room to retry" in record.error
+            assert record.attempts == 1  # the retry never happened
+
+    def test_submit_validates_deadline(self, maximize_spec):
+        with _service("inprocess") as service:
+            for junk in (0, -1.0, float("inf")):
+                with pytest.raises(ServeError, match="deadline"):
+                    service.submit(maximize_spec, deadline=junk)
+
+
+class TestResilienceOverHTTP:
+    @pytest.fixture
+    def chaos_server(self):
+        injector = FaultInjectingExecutor(
+            InProcessExecutor(), faults=["crash", None])
+        service = _service(injector).start()
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_attempt_log_and_error_type_on_the_wire(self, chaos_server,
+                                                    maximize_spec):
+        client = ServeClient(chaos_server.url)
+        job = client.submit(maximize_spec, deadline=60.0)
+        record = client.wait(job["job_id"], timeout=30)
+        assert record["state"] == JOB_DONE
+        assert record["deadline"] is not None
+        outcomes = [a["outcome"] for a in record["attempt_log"]]
+        assert outcomes == ["ExecutorCrashError", "ok"]
+        health = client.health()
+        assert health["executor_available"] is True
+        assert set(health["breakers"].values()) <= {
+            BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN}
+        stats = client.stats()
+        assert stats["resilience"]["retries"] == 1
+
+    def test_http_503_with_retry_after(self, maximize_spec, fig2,
+                                       unit_box2):
+        other = MaximizeSpec(network=fig2, input_box=unit_box2,
+                             objective=np.array([1.0]))
+        config = _FAST.replace(queue_limit=1, retry_after=3.0)
+        service = _service("inprocess", serve_config=config)  # not started
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(server.url)
+            client.submit(maximize_spec)
+            with pytest.raises(QueueFullError, match="queue full") \
+                    as excinfo:
+                client.submit(other)
+            assert excinfo.value.retry_after == 3.0
+            # The raw response carries the structured payload + header.
+            import http.client
+
+            host, port = server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            from repro.api import spec_to_dict
+
+            conn.request("POST", "/jobs", body=json.dumps(
+                {"spec": spec_to_dict(other)}),
+                headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            conn.close()
+            assert response.status == 503
+            assert response.getheader("Retry-After") == "3"
+            assert payload["error_type"] == "QueueFullError"
+            assert payload["retry_after"] == 3.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_rejects_junk_deadline(self, chaos_server, maximize_spec):
+        from repro.api import spec_to_dict
+
+        client = ServeClient(chaos_server.url)
+        with pytest.raises(ServeError, match="deadline"):
+            client._request("POST", "/jobs",
+                            {"spec": spec_to_dict(maximize_spec),
+                             "deadline": -2})
+
+
+class TestServeConfig:
+    def test_defaults_round_trip(self):
+        config = ServeConfig()
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_rejects_unknown_keys_and_junk(self):
+        with pytest.raises(ReproError, match="unknown"):
+            ServeConfig.from_dict({"nope": 1})
+        with pytest.raises(ReproError, match="retry_attempts"):
+            ServeConfig(retry_attempts=0)
+        with pytest.raises(ReproError, match="queue_limit"):
+            ServeConfig(queue_limit=0)
+
+    def test_retry_policy_bridge(self):
+        policy = ServeConfig(retry_attempts=7, retry_base_delay=0.5,
+                             retry_jitter=0.0).retry_policy()
+        assert policy.max_attempts == 7
+        assert policy.delay("j", 1) == pytest.approx(0.5)
+
+    def test_overrides_keep_none(self):
+        config = ServeConfig().with_overrides(retry_attempts=None,
+                                              queue_limit=4)
+        assert config.retry_attempts == 3
+        assert config.queue_limit == 4
