@@ -17,13 +17,24 @@ Four questions about the asynchronous verification service (PR 5):
    the canonical verdict byte string of the direct engine call (asserted,
    not just reported).
 
+A fifth, opt-in question (PR 7): *fleet throughput* -- ``--workers N``
+boots N real worker processes plus an in-process consistent-hash
+coordinator (:class:`~repro.serve.remote.ShardRouter`), drains the same
+distinct-job bag through fleets of size 1 and N, and reports submit
+throughput per fleet plus per-shard job counts -- gating byte-identical
+verdicts and zero lost jobs, reporting (not gating) the speedup.
+
 Run standalone for the machine-readable record::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [output.json] [--smoke]
+    PYTHONPATH=src python benchmarks/bench_serve.py --workers 2 [--smoke]
 """
 
 import os
+import socket
+import subprocess
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -185,9 +196,128 @@ def bench_http_identity():
     return {"http_roundtrip_ms": elapsed * 1e3, "byte_identical": True}
 
 
+# ------------------------------------------------------- fleet throughput
+
+FLEET_JOBS = 24
+SMOKE_FLEET_JOBS = 8
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_worker(port, db_path):
+    src_dir = str(Path(__file__).resolve().parent.parent / "src")
+    env = os.environ.copy()
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--db", str(db_path), "--service-workers", "2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _await_healthy(url, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if ServeClient(url, timeout=1.0).health().get("ok"):
+                return
+        except Exception:
+            time.sleep(0.1)
+    raise AssertionError(f"worker at {url} never became healthy")
+
+
+def _drain_through_fleet(n_workers, specs, reference, tmp_dir):
+    """Boot n real worker processes + an in-process coordinator, drain
+    the job bag, and return throughput + per-shard counts."""
+    from repro.serve import ShardRouter
+
+    ports = [_free_port() for _ in range(n_workers)]
+    urls = [f"http://127.0.0.1:{port}" for port in ports]
+    procs = [_spawn_worker(port, Path(tmp_dir) / f"w{port}.sqlite")
+             for port in ports]
+    router = None
+    service = None
+    try:
+        for url in urls:
+            _await_healthy(url)
+        router = ShardRouter(urls)
+        router.check_now()
+        service = VerificationService(store=":memory:", executor=router,
+                                      workers=2 * n_workers)
+        service.start()
+        start = time.perf_counter()
+        ids = [service.submit(spec).job_id for spec in specs]
+        for job_id in ids:
+            record = service.wait(job_id, timeout=600)
+            assert record.state == "done", (
+                f"job {job_id} lost to the fleet: "
+                f"{record.state}: {record.error}")
+        elapsed = time.perf_counter() - start
+        served = [canonical_verdict_json(service.verdict(j)) for j in ids]
+        assert served == reference, (
+            f"fleet verdicts diverged at {n_workers} workers")
+        per_shard = {
+            link["name"]: {
+                "jobs_ok": link["successes"],
+                "jobs_per_s": link["successes"] / elapsed,
+            }
+            for link in router.stats()["chain"]}
+        assert sum(s["jobs_ok"] for s in per_shard.values()) == len(specs)
+    finally:
+        if service is not None:
+            service.close()
+        if router is not None:
+            router.close()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+    return {
+        "workers": n_workers,
+        "jobs": len(specs),
+        "elapsed_s": elapsed,
+        "jobs_per_s": len(specs) / elapsed,
+        "shards": per_shard,
+    }
+
+
+def bench_fleet_throughput(n_workers, jobs=FLEET_JOBS):
+    """Submit throughput through real worker fleets of size 1 and N."""
+    specs = _distinct_specs(jobs)
+    engine = VerificationEngine(VerifyConfig())
+    reference = [canonical_verdict_json(engine.verify(s)) for s in specs]
+    sweep = []
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp_dir:
+        for size in sorted({1, n_workers}):
+            sweep.append(_drain_through_fleet(size, specs, reference,
+                                              tmp_dir))
+    base = sweep[0]["elapsed_s"]
+    for row in sweep:
+        row["speedup_vs_one_worker"] = base / row["elapsed_s"]
+    return {"sweep": sweep, "verdicts_identical": True,
+            "jobs_lost": 0}
+
+
 def main(argv):
     smoke = "--smoke" in argv
     argv = [a for a in argv if a != "--smoke"]
+    if "--workers" in argv:
+        index = argv.index("--workers")
+        n_workers = int(argv[index + 1])
+        del argv[index:index + 2]
+        out = argv[0] if argv else None
+        results = {
+            "smoke": smoke,
+            "cpu_count": os.cpu_count(),
+            "fleet_throughput": bench_fleet_throughput(
+                n_workers,
+                SMOKE_FLEET_JOBS if smoke else FLEET_JOBS),
+        }
+        emit_json("bench_serve_fleet", results, out)
+        return 0
     out = argv[0] if argv else None
     results = {
         "smoke": smoke,

@@ -243,6 +243,23 @@ class ServeConfig:
     #: Grace period between SIGTERM and SIGKILL when reaping a timed-out
     #: executor subprocess (and its process group).
     kill_grace: float = 2.0
+    #: Distributed serving (coordinator mode): seconds between the
+    #: coordinator's ``/healthz`` probes of each worker; also the cadence
+    #: at which ``repro serve --worker`` heartbeats its coordinator.
+    heartbeat_interval: float = 1.0
+    #: Liveness TTL: a worker not seen (heartbeat, probe, or completed
+    #: job) for this many seconds is marked dead and its hash range is
+    #: rerouted.  Must exceed ``heartbeat_interval`` or every worker
+    #: would flap dead between probes.
+    worker_ttl: float = 5.0
+    #: Virtual nodes per worker on the consistent-hash ring.  More
+    #: replicas smooth the key distribution and shrink the slice moved
+    #: per membership change toward the ideal 1/N.
+    ring_replicas: int = 64
+    #: What happens to a dead shard's hash range: ``"reroute"`` sends it
+    #: to the next live shard on the ring; ``"strict"`` parks those jobs
+    #: until the owner returns (maximal verdict-cache locality).
+    reroute_policy: str = "reroute"
 
     def __post_init__(self):
         if self.retry_attempts < 1:
@@ -275,6 +292,22 @@ class ServeConfig:
         if self.kill_grace < 0:
             raise ReproError(
                 f"kill_grace must be >= 0, got {self.kill_grace}")
+        if self.heartbeat_interval <= 0:
+            raise ReproError(
+                f"heartbeat_interval must be positive, "
+                f"got {self.heartbeat_interval}")
+        if self.worker_ttl <= self.heartbeat_interval:
+            raise ReproError(
+                f"worker_ttl ({self.worker_ttl}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval}), or "
+                "every worker flaps dead between probes")
+        if self.ring_replicas < 1:
+            raise ReproError(
+                f"ring_replicas must be >= 1, got {self.ring_replicas}")
+        if self.reroute_policy not in ("reroute", "strict"):
+            raise ReproError(
+                f"reroute_policy must be 'reroute' or 'strict', "
+                f"got {self.reroute_policy!r}")
 
     def replace(self, **overrides) -> "ServeConfig":
         """A copy with ``overrides`` applied (validation re-runs)."""

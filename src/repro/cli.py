@@ -37,19 +37,23 @@ __all__ = ["main", "build_parser"]
 
 
 def _add_engine_args(parser: argparse.ArgumentParser,
-                     full: bool = False) -> None:
+                     full: bool = False,
+                     pool_flag: bool = True) -> None:
     """The shared engine knobs (one :class:`VerifyConfig` per invocation).
 
     ``full`` adds the solver-tuning flags beyond the pool width; defaults
     are ``None`` so unset flags fall through to the config's single source
-    of defaults instead of being re-stated here.
+    of defaults instead of being re-stated here.  ``pool_flag=False``
+    skips ``--workers`` for subcommands that overload the flag (``serve``
+    reuses it for the coordinator's worker URL list).
     """
     engine = parser.add_argument_group("engine options")
-    engine.add_argument("--workers", type=int, default=None,
-                        help="worker-pool width for the exact branch-and-"
-                             "bound legs; >= 2 switches to the parallel "
-                             "frontier search, whose verdicts do not "
-                             "depend on the pool width")
+    if pool_flag:
+        engine.add_argument("--workers", type=int, default=None,
+                            help="worker-pool width for the exact branch-"
+                                 "and-bound legs; >= 2 switches to the "
+                                 "parallel frontier search, whose verdicts "
+                                 "do not depend on the pool width")
     if not full:
         return
     engine.add_argument("--tol", type=float, default=None,
@@ -198,7 +202,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed for --fault-rate injection (same seed + arrival "
              "order = same fault schedule)")
-    _add_engine_args(serve, full=True)
+    distributed = serve.add_argument_group("distributed options")
+    distributed.add_argument(
+        "--coordinator", action="store_true",
+        help="run as a coordinator: jobs are routed to worker machines "
+             "by consistent hashing instead of executed locally")
+    distributed.add_argument(
+        "--workers", default=None, metavar="N|URL,URL,...",
+        help="without --coordinator: integer worker-pool width for the "
+             "engine (as elsewhere); with --coordinator: comma-separated "
+             "worker endpoints to route jobs to (workers can also join "
+             "later via --worker registration)")
+    distributed.add_argument(
+        "--worker", action="store_true",
+        help="run as a worker: serve normally and heartbeat the "
+             "--coordinator-url so the ring can route jobs here")
+    distributed.add_argument(
+        "--coordinator-url", default=None,
+        help="coordinator endpoint a --worker registers with "
+             "(heartbeats every --heartbeat-interval seconds)")
+    distributed.add_argument(
+        "--advertise-url", default=None,
+        help="URL a --worker advertises to the coordinator (default: "
+             "the bound address; set when behind NAT or 0.0.0.0)")
+    distributed.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="seconds between coordinator health probes / worker "
+             "heartbeats (default 1)")
+    distributed.add_argument(
+        "--worker-ttl", type=float, default=None,
+        help="seconds of silence before a worker is marked dead and "
+             "its hash range reroutes (default 5)")
+    distributed.add_argument(
+        "--ring-replicas", type=int, default=None,
+        help="virtual nodes per worker on the consistent-hash ring "
+             "(default 64)")
+    distributed.add_argument(
+        "--reroute-policy", choices=("reroute", "strict"), default=None,
+        help="dead shard's hash range: 'reroute' to the next live "
+             "shard (default), or 'strict' to park its jobs until the "
+             "owner returns")
+    _add_engine_args(serve, full=True, pool_flag=False)
 
     submit = sub.add_parser(
         "submit", help="queue a spec file on a running repro serve")
@@ -442,32 +486,99 @@ def _cmd_verify_spec(args) -> int:
     return _verdict_exit_code(verdict_doc)
 
 
-def _cmd_serve(args) -> int:
-    from repro.api.config import ServeConfig
-    from repro.serve import (FaultInjectingExecutor, VerificationService,
-                             make_executor, serve_http)
+def _heartbeat_loop(stop, coordinator_url: str, self_url: str,
+                    interval: float) -> None:
+    """Register this worker with its coordinator, then keep the TTL
+    fresh.  Failures are swallowed: the coordinator being down must not
+    kill the worker -- the next beat re-registers when it returns."""
+    from repro.serve import ServeClient
 
+    client = ServeClient(coordinator_url)
+    while True:
+        try:
+            client.register_worker(self_url)
+        except Exception:  # noqa: BLE001 - heartbeats never crash a worker
+            pass
+        if stop.wait(interval):
+            return
+
+
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.api.config import ServeConfig
+    from repro.serve import (FaultInjectingExecutor, ShardRouter,
+                             VerificationService, make_executor, serve_http)
+
+    if args.coordinator and args.worker:
+        print("error: --coordinator and --worker are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.coordinator and args.fault_rate:
+        print("error: --fault-rate injects faults into a *local* "
+              "executor; on a coordinator, pass it to a worker instead",
+              file=sys.stderr)
+        return 2
+    if args.worker and not args.coordinator_url:
+        print("error: --worker needs --coordinator-url to register with",
+              file=sys.stderr)
+        return 2
+    # serve overloads --workers: an engine pool width normally, the
+    # worker URL list under --coordinator.  Resolve it before the flag
+    # is folded into the engine config.
+    worker_urls = []
+    if args.coordinator:
+        worker_urls = [url.strip() for url in (args.workers or "").split(",")
+                       if url.strip()]
+        args.workers = None  # the coordinator never solves locally
+    elif args.workers is not None:
+        try:
+            args.workers = int(args.workers)
+        except ValueError:
+            print("error: --workers takes an integer pool width here "
+                  "(a URL list needs --coordinator)", file=sys.stderr)
+            return 2
     config = _config_from_args(args)
     serve_config = ServeConfig().with_overrides(
         retry_attempts=args.retry_attempts,
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
-        queue_limit=args.queue_limit)
-    chain = [make_executor(args.executor)]
-    if args.fault_rate:
-        # Chaos mode: wrap the *primary* only, so a --failover fallback
-        # stays healthy and the breaker handoff is observable end-to-end.
-        chain[0] = FaultInjectingExecutor(chain[0],
-                                          fault_rate=args.fault_rate,
-                                          seed=args.fault_seed)
-    if args.failover and args.executor != "inprocess":
-        chain.append(make_executor("inprocess"))
+        queue_limit=args.queue_limit,
+        heartbeat_interval=args.heartbeat_interval,
+        worker_ttl=args.worker_ttl,
+        ring_replicas=args.ring_replicas,
+        reroute_policy=args.reroute_policy)
+    if args.coordinator:
+        executor = ShardRouter(worker_urls, serve_config=serve_config)
+        executor.check_now()  # probe the fleet before accepting jobs
+    else:
+        chain = [make_executor(args.executor)]
+        if args.fault_rate:
+            # Chaos mode: wrap the *primary* only, so a --failover
+            # fallback stays healthy and the breaker handoff is
+            # observable end-to-end.
+            chain[0] = FaultInjectingExecutor(chain[0],
+                                              fault_rate=args.fault_rate,
+                                              seed=args.fault_seed)
+        if args.failover and args.executor != "inprocess":
+            chain.append(make_executor("inprocess"))
+        executor = chain
     service = VerificationService(
-        store=args.db, executor=chain,
+        store=args.db, executor=executor,
         workers=args.service_workers, default_config=config,
         serve_config=serve_config)
     server = serve_http(service, host=args.host, port=args.port)
     service.start()
+    heartbeat_stop = threading.Event()
+    heartbeat_thread = None
+    if args.worker:
+        self_url = args.advertise_url or server.url
+        heartbeat_thread = threading.Thread(
+            target=_heartbeat_loop,
+            args=(heartbeat_stop, args.coordinator_url, self_url,
+                  serve_config.heartbeat_interval),
+            name="repro-worker-heartbeat", daemon=True)
+        heartbeat_thread.start()
     if service.store.recovered_jobs:
         print(f"recovered {service.store.recovered_jobs} interrupted "
               "job(s) back into the queue")
@@ -477,6 +588,11 @@ def _cmd_serve(args) -> int:
                    f"seed={args.fault_seed}")
     if serve_config.queue_limit is not None:
         extras += f", queue_limit={serve_config.queue_limit}"
+    if args.coordinator:
+        extras += (f", reroute={serve_config.reroute_policy}, "
+                   f"ttl={serve_config.worker_ttl:g}s")
+    if args.worker:
+        extras += f", coordinator={args.coordinator_url}"
     print(f"repro serve listening on {server.url}  "
           f"(store={args.db}, executor={service.executor.name}, "
           f"service workers={args.service_workers}{extras})")
@@ -485,6 +601,9 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("shutting down ...")
     finally:
+        heartbeat_stop.set()
+        if heartbeat_thread is not None:
+            heartbeat_thread.join(timeout=2.0)
         server.shutdown()
         server.server_close()
         service.close()

@@ -93,6 +93,20 @@ class MalformedWireError(TransientExecutionError):
     (truncated JSON, garbage stdout, wrong document shape)."""
 
 
+class RemoteUnreachableError(TransientExecutionError):
+    """A remote worker could not be reached at the transport level
+    (connection refused/reset, socket timeout, DNS failure): the machine
+    or its server is down or partitioned, not the job.  Transient -- the
+    shard may return, and the ring reroutes in the meantime."""
+
+
+class RemoteProtocolError(TransientExecutionError):
+    """A remote worker answered, but not with a well-formed HTTP/JSON
+    response (truncated body, garbage payload, a record missing required
+    fields): the connection worked, the reply was torn.  Transient -- a
+    retry speaks to a (hopefully) healthier process."""
+
+
 class JobTimeoutError(TransientExecutionError, TimeoutError):
     """The job overran its wall-clock budget.  Also a builtin
     :class:`TimeoutError` so pre-taxonomy ``except TimeoutError`` call

@@ -18,7 +18,13 @@ layer over the :mod:`repro.api` engine:
   circuit breaker per executor in a failover chain
   (:class:`SupervisedExecutor`), and a seeded
   :class:`FaultInjectingExecutor` for chaos testing (``docs/
-  resilience.md``).
+  resilience.md``);
+* a **distributed layer** (:mod:`repro.serve.remote`): a
+  :class:`RemoteExecutor` shipping jobs to worker machines over the
+  HTTP wire protocol, a consistent-hash :class:`ShardRouter` with a
+  health-checked :class:`WorkerRegistry` and per-shard breakers --
+  ``repro serve --coordinator --workers URL,URL`` / ``repro serve
+  --worker`` (``docs/distributed.md``).
 
 Quick start::
 
@@ -54,6 +60,13 @@ _EXPORTS = {
     "InProcessExecutor": "repro.serve.executors",
     "SubprocessExecutor": "repro.serve.executors",
     "make_executor": "repro.serve.executors",
+    # remote / distributed
+    "RemoteExecutor": "repro.serve.remote",
+    "ShardRouter": "repro.serve.remote",
+    "WorkerRegistry": "repro.serve.remote",
+    "HashRing": "repro.serve.remote",
+    "routing_key": "repro.serve.remote",
+    "REROUTE_POLICIES": "repro.serve.remote",
     # resilience
     "classify_failure": "repro.serve.resilience",
     "RetryPolicy": "repro.serve.resilience",
@@ -68,6 +81,8 @@ _EXPORTS = {
     "JobTimeoutError": "repro.errors",
     "MalformedWireError": "repro.errors",
     "QueueFullError": "repro.errors",
+    "RemoteUnreachableError": "repro.errors",
+    "RemoteProtocolError": "repro.errors",
     # http + client
     "ServeAPIServer": "repro.serve.http",
     "serve_http": "repro.serve.http",

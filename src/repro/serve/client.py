@@ -18,15 +18,21 @@ import time
 from typing import Dict, List, Optional
 from urllib.parse import quote, urlsplit
 
-from repro.errors import QueueFullError, ServeError
+from repro.errors import (
+    QueueFullError,
+    RemoteProtocolError,
+    RemoteUnreachableError,
+    ServeError,
+)
 from repro.serve.store import TERMINAL_STATES
 
 __all__ = ["ServeClient"]
 
-#: Connection-level failures worth one same-request retry -- but only for
-#: idempotent GETs: a resend after these may re-run a non-idempotent POST.
-_RETRYABLE_NETWORK_ERRORS = (ConnectionError, TimeoutError,
-                             http.client.HTTPException, OSError)
+#: Transport-level failures, already mapped onto the taxonomy by
+#: :meth:`ServeClient._request_once`.  Worth one same-request retry -- but
+#: only for idempotent GETs: a resend after these may re-run a
+#: non-idempotent POST.
+_RETRYABLE_NETWORK_ERRORS = (RemoteUnreachableError, RemoteProtocolError)
 
 
 class ServeClient:
@@ -70,14 +76,30 @@ class ServeClient:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            # The machine (or its server process) is gone: refused/reset
+            # connections, socket timeouts, DNS failures.  One structured
+            # class so classify_failure sees a transient, not an unknown
+            # URLError in the default bucket.  RemoteDisconnected is a
+            # ConnectionResetError, so a mid-request death lands here too.
+            raise RemoteUnreachableError(
+                f"{self.host}:{self.port} unreachable for {method} {path}: "
+                f"{type(exc).__name__}: {exc}") from exc
+        except http.client.HTTPException as exc:
+            # The connection worked but the response was torn (truncated
+            # body, bad status line): the server answered garbage, it did
+            # not vanish.
+            raise RemoteProtocolError(
+                f"{self.host}:{self.port} sent a torn HTTP response for "
+                f"{method} {path}: {type(exc).__name__}: {exc}") from exc
         finally:
             conn.close()
         try:
             data = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:
-            raise ServeError(
-                f"server returned unparseable JSON for {method} {path}: "
-                f"{exc}") from None
+            raise RemoteProtocolError(
+                f"{self.host}:{self.port} returned unparseable JSON for "
+                f"{method} {path}: {exc}") from None
         if response.status == 503:
             # Backpressure: surface the server's Retry-After so callers
             # can actually honour it instead of hammering the endpoint.
@@ -145,24 +167,67 @@ class ServeClient:
     def stats(self) -> Dict:
         return self._request("GET", "/stats")
 
+    def register_worker(self, url: str) -> Dict:
+        """Register (or heartbeat) a worker on a coordinator; returns the
+        worker's registry record.  Idempotent: re-registering refreshes
+        the liveness TTL, which is exactly what a heartbeat is."""
+        return self._request("POST", "/workers", {"url": url})
+
+    def workers(self) -> List[Dict]:
+        """The coordinator's shard registry (one record per worker)."""
+        return self._request("GET", "/workers")["workers"]
+
     def wait(self, job_id: str, timeout: Optional[float] = 60.0,
-             poll: float = 0.05, max_poll: float = 1.0) -> Dict:
+             poll: float = 0.05, max_poll: float = 1.0,
+             transport_retries: int = 5) -> Dict:
         """Poll until the job is terminal; returns its final record.
 
         The interval backs off exponentially from ``poll`` to ``max_poll``
         (capped), so short jobs return fast while long solves do not
         busy-hammer the server with a fixed-rate poll loop.
+
+        Two failure modes are kept distinct: a job that *finished badly*
+        is still returned as its terminal record (the caller inspects
+        ``state``/``error``), while a server that *went away mid-poll* --
+        more than ``transport_retries`` consecutive transport failures --
+        raises :class:`~repro.serve.resilience.ExecutorUnavailableError`
+        carrying the last attempt's context.  The overall ``timeout`` is
+        honoured on both paths, so a dead server can never turn a bounded
+        wait into an infinite poll loop.
         """
+        from repro.serve.resilience import ExecutorUnavailableError
+
         deadline = None if timeout is None else time.monotonic() + timeout
         delay = poll
+        consecutive_transport_failures = 0
+        state = "unknown"
         while True:
-            record = self.job(job_id)
-            if record["state"] in TERMINAL_STATES:
-                return record
+            try:
+                record = self.job(job_id)
+            except _RETRYABLE_NETWORK_ERRORS as exc:
+                consecutive_transport_failures += 1
+                if consecutive_transport_failures > transport_retries:
+                    raise ExecutorUnavailableError(
+                        f"server at {self.host}:{self.port} went away "
+                        f"while polling job {job_id} (last seen state "
+                        f"{state!r}): {consecutive_transport_failures} "
+                        f"consecutive transport failures, last: "
+                        f"{type(exc).__name__}: {exc}") from exc
+            else:
+                consecutive_transport_failures = 0
+                if "state" not in record:
+                    # A half-parsed/foreign payload must not masquerade
+                    # as a job record.
+                    raise RemoteProtocolError(
+                        f"server at {self.host}:{self.port} returned a "
+                        f"document without a job state for {job_id}: "
+                        f"keys {sorted(record)[:8]}")
+                state = record["state"]
+                if state in TERMINAL_STATES:
+                    return record
             if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {record['state']} "
-                    f"after {timeout:g}s")
+                    f"job {job_id} still {state} after {timeout:g}s")
             sleep_for = delay
             if deadline is not None:
                 sleep_for = min(sleep_for, max(deadline - time.monotonic(),

@@ -172,12 +172,22 @@ _EXECUTORS = {
 
 
 def make_executor(executor: Union[str, ExecutorLike]) -> ExecutorLike:
-    """Resolve an executor name (or pass an instance through)."""
+    """Resolve an executor name (or pass an instance through).
+    ``"remote:URL"`` builds a :class:`~repro.serve.remote.RemoteExecutor`
+    shipping jobs to another machine's ``repro serve``."""
     if isinstance(executor, str):
+        if executor.startswith("remote:"):
+            from repro.serve.remote import RemoteExecutor
+
+            url = executor[len("remote:"):]
+            if not url:
+                raise ServeError(
+                    "remote executor needs a URL: remote:http://host:port")
+            return RemoteExecutor(url)
         if executor not in _EXECUTORS:
             raise ServeError(
                 f"unknown executor {executor!r}; "
-                f"known: {sorted(_EXECUTORS)}")
+                f"known: {sorted(_EXECUTORS)} or remote:URL")
         return _EXECUTORS[executor]()
     if not hasattr(executor, "execute"):
         raise ServeError(

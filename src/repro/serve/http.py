@@ -18,7 +18,11 @@ GET    ``/jobs``           all records (``?state=queued`` filters;
                            verdicts elided for brevity)
 DELETE ``/jobs/{id}``      cancel; 200 + resulting state
 GET    ``/healthz``        liveness + queue counts + breaker states
+                           (+ per-shard liveness in coordinator mode)
 GET    ``/stats``          full scheduler/store/cache/resilience stats
+POST   ``/workers``        register/heartbeat a worker shard
+                           (coordinator mode; body ``{"url": ...}``)
+GET    ``/workers``        the shard registry (coordinator mode)
 ====== =================== ==============================================
 
 Error responses carry a structured JSON payload: ``{"error": <message>,
@@ -156,7 +160,7 @@ class _Handler(BaseHTTPRequestHandler):
         if head == "healthz":
             stats = self.service.stats()
             executor_stats = stats["resilience"]["executor"]
-            self._send_json(200, {
+            payload = {
                 "ok": True,
                 "workers": stats["workers"],
                 "executor": stats["executor"],
@@ -166,9 +170,26 @@ class _Handler(BaseHTTPRequestHandler):
                     for link in executor_stats.get("chain", [])
                 },
                 "jobs": stats["jobs"],
-            })
+            }
+            if "ring" in executor_stats:  # coordinator: per-shard state
+                payload["ring"] = executor_stats["ring"]
+                payload["shards"] = {
+                    link["name"]: {
+                        "alive": link.get("alive", False),
+                        "breaker": link["breaker"]["state"],
+                    }
+                    for link in executor_stats.get("chain", [])
+                }
+            self._send_json(200, payload)
         elif head == "stats":
             self._send_json(200, self.service.stats())
+        elif head == "workers":
+            try:
+                states = self.service.worker_states()
+            except ServeError as exc:
+                self._error(404, str(exc))  # not a coordinator
+                return
+            self._send_json(200, {"workers": states})
         elif head == "jobs" and job_id is not None:
             try:
                 record = self.service.job(job_id)
@@ -224,6 +245,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib contract
         head, job_id, _ = self._route()
+        if head == "workers" and job_id is None:
+            self._register_worker()
+            return
         if head != "jobs" or job_id is not None:
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -260,6 +284,24 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"{type(exc).__name__}: {exc}")
             return
         self._send_json(201, record.to_public_dict())
+
+    def _register_worker(self) -> None:
+        """``POST /workers`` -- register (or heartbeat) a worker shard.
+        Idempotent by design: a worker's periodic re-registration *is*
+        its heartbeat, refreshing the coordinator's liveness TTL."""
+        try:
+            body = self._read_body()
+            url = body.get("url")
+            if not isinstance(url, str) or not url:
+                raise ServeError(
+                    'worker registration needs a "url" string '
+                    '(the worker\'s own repro serve endpoint)')
+            state = self.service.register_worker(url)
+        except ServeError as exc:
+            # Either a malformed document or "not a coordinator".
+            self._error(400, str(exc))
+            return
+        self._send_json(200, {"worker": state})
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib contract
         head, job_id, _ = self._route()

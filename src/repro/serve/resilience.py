@@ -44,6 +44,8 @@ from repro.errors import (
     JobTimeoutError,
     MalformedWireError,
     PermanentJobError,
+    RemoteProtocolError,
+    RemoteUnreachableError,
     ReproError,
     ServeError,
     TransientExecutionError,
@@ -96,6 +98,14 @@ def classify_failure(exc: BaseException) -> Tuple[str, bool]:
         return "ExecutorCrashError", True
     if isinstance(exc, MalformedWireError):
         return "MalformedWireError", True
+    if isinstance(exc, RemoteUnreachableError):
+        # Network-level failures (connection refused/reset, socket
+        # timeouts) are the distributed twin of a crashed subprocess:
+        # the infrastructure died, the job is fine.  Retry/backoff/
+        # breakers apply unchanged.
+        return "RemoteUnreachableError", True
+    if isinstance(exc, RemoteProtocolError):
+        return "RemoteProtocolError", True
     if isinstance(exc, ExecutorUnavailableError):
         return "ExecutorUnavailableError", True
     if isinstance(exc, TransientExecutionError):

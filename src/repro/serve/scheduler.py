@@ -116,9 +116,13 @@ class VerificationService:
         self.parked_unavailable = 0
         self.failures_by_type: Dict[str, int] = {}
 
-    def _build_executor(self, executor) -> SupervisedExecutor:
-        """Resolve names/instances into one supervised failover chain."""
-        if isinstance(executor, SupervisedExecutor):
+    def _build_executor(self, executor):
+        """Resolve names/instances into one supervised failover chain.
+        Executors that carry their own supervision (``supervised = True``,
+        e.g. the coordinator's :class:`~repro.serve.remote.ShardRouter`
+        with one breaker per shard) pass through unwrapped."""
+        if isinstance(executor, SupervisedExecutor) or \
+                getattr(executor, "supervised", False):
             return executor
         links = (list(executor) if isinstance(executor, (list, tuple))
                  else [executor])
@@ -162,6 +166,9 @@ class VerificationService:
             for thread in self._threads:
                 thread.join()
         self._threads = []
+        closer = getattr(self.executor, "close", None)
+        if callable(closer):  # e.g. the ShardRouter's health checker
+            closer()
         self.store.close()
 
     def __enter__(self) -> "VerificationService":
@@ -265,6 +272,25 @@ class VerificationService:
         self.store.get(job_id)  # raises for unknown jobs
         return self.store.attempt_log(job_id)
 
+    # ---------------------------------------------------- coordinator fleet
+    def register_worker(self, url: str) -> Dict:
+        """Register (or heartbeat) a worker shard -- coordinator mode
+        only (the executor must be a shard router)."""
+        add = getattr(self.executor, "add_worker", None)
+        if not callable(add):
+            raise ServeError(
+                "this server is not a coordinator (start it with "
+                "repro serve --coordinator to accept worker registration)")
+        return add(url)
+
+    def worker_states(self) -> List[Dict]:
+        """Per-shard registry records -- coordinator mode only."""
+        registry = getattr(self.executor, "registry", None)
+        if registry is None:
+            raise ServeError(
+                "this server is not a coordinator (no worker registry)")
+        return registry.states()
+
     def wait(self, job_id: str, timeout: Optional[float] = 60.0,
              poll: float = 0.02) -> JobRecord:
         """Block until the job reaches a terminal state."""
@@ -352,6 +378,12 @@ class VerificationService:
         }
 
     # -------------------------------------------------------------- workers
+    def _executor_shard(self) -> Optional[str]:
+        """Which shard the calling thread's last execute call routed to
+        (``None`` for non-routing executors)."""
+        last = getattr(self.executor, "last_shard", None)
+        return last() if callable(last) else None
+
     def _cancelled(self, job_id: str) -> bool:
         with self._cancel_lock:
             return job_id in self._cancel_requested
@@ -451,7 +483,8 @@ class VerificationService:
             with self._stats_lock:
                 self.executed_jobs += 1
             self.store.record_attempt(job_id, record.attempts, "ok",
-                                      started_at=started)
+                                      started_at=started,
+                                      shard=self._executor_shard())
             verdict_json = json.dumps(verdict_dict, allow_nan=False,
                                       sort_keys=True)
             if self._cancelled(job_id):
@@ -479,7 +512,8 @@ class VerificationService:
         attempt = record.attempts  # the claim already bumped it
         self.store.record_attempt(job_id, attempt, error_type,
                                   error=str(exc), transient=transient,
-                                  started_at=started)
+                                  started_at=started,
+                                  shard=self._executor_shard())
         with self._stats_lock:
             self.executed_jobs += 1
             self.failures_by_type[error_type] = \

@@ -108,6 +108,7 @@ CREATE TABLE IF NOT EXISTS attempts (
     outcome      TEXT NOT NULL,
     transient    INTEGER NOT NULL DEFAULT 0,
     error        TEXT,
+    shard        TEXT,
     PRIMARY KEY (job_id, attempt)
 );
 """
@@ -119,6 +120,12 @@ _JOBS_MIGRATIONS = {
     "not_before": "ALTER TABLE jobs ADD COLUMN not_before REAL",
     "deadline": "ALTER TABLE jobs ADD COLUMN deadline REAL",
     "error_type": "ALTER TABLE jobs ADD COLUMN error_type TEXT",
+}
+
+#: Same in-place upgrade for the attempts table (``shard`` arrived with
+#: the distributed-serving PR: which worker ran the attempt).
+_ATTEMPTS_MIGRATIONS = {
+    "shard": "ALTER TABLE attempts ADD COLUMN shard TEXT",
 }
 
 
@@ -219,6 +226,7 @@ class AttemptRecord:
     outcome: str  # "ok" or the taxonomy error-type name
     transient: bool
     error: Optional[str]
+    shard: Optional[str] = None  # which worker ran it (coordinator mode)
 
     def to_public_dict(self) -> Dict:
         return {
@@ -228,6 +236,7 @@ class AttemptRecord:
             "outcome": self.outcome,
             "transient": self.transient,
             "error": self.error,
+            "shard": self.shard,
         }
 
 
@@ -260,11 +269,13 @@ class JobStore:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         with self._lock:
             self._conn.executescript(_SCHEMA)
-            existing = {row[1] for row in self._conn.execute(
-                "PRAGMA table_info(jobs)")}
-            for column, statement in _JOBS_MIGRATIONS.items():
-                if column not in existing:
-                    self._conn.execute(statement)
+            for table, migrations in (("jobs", _JOBS_MIGRATIONS),
+                                      ("attempts", _ATTEMPTS_MIGRATIONS)):
+                existing = {row[1] for row in self._conn.execute(
+                    f"PRAGMA table_info({table})")}
+                for column, statement in migrations.items():
+                    if column not in existing:
+                        self._conn.execute(statement)
             self._conn.commit()
         #: Jobs found mid-``running`` on open (a previous process died
         #: with them in flight) and requeued -- exactly once per crash.
@@ -444,18 +455,20 @@ class JobStore:
     # ------------------------------------------------------------- attempts
     def record_attempt(self, job_id: str, attempt: int, outcome: str,
                        error: Optional[str] = None, transient: bool = False,
-                       started_at: Optional[float] = None) -> None:
+                       started_at: Optional[float] = None,
+                       shard: Optional[str] = None) -> None:
         """Persist one finished execution attempt (``outcome`` is ``"ok"``
-        or the taxonomy error-type name).  ``INSERT OR REPLACE``: a crash
+        or the taxonomy error-type name; ``shard`` the worker URL that ran
+        it, when routed by a coordinator).  ``INSERT OR REPLACE``: a crash
         between the executor returning and this write loses at worst one
         log row, never a job."""
         with self._lock:
             self._conn.execute(
                 "INSERT OR REPLACE INTO attempts (job_id, attempt, "
-                "started_at, finished_at, outcome, transient, error) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                "started_at, finished_at, outcome, transient, error, shard) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 (job_id, int(attempt), started_at, time.time(), outcome,
-                 int(bool(transient)), error))
+                 int(bool(transient)), error, shard))
             self._conn.commit()
 
     def attempt_log(self, job_id: str) -> List[AttemptRecord]:
@@ -463,12 +476,12 @@ class JobStore:
         with self._lock:
             rows = self._conn.execute(
                 "SELECT job_id, attempt, started_at, finished_at, outcome, "
-                "transient, error FROM attempts WHERE job_id = ? "
+                "transient, error, shard FROM attempts WHERE job_id = ? "
                 "ORDER BY attempt ASC", (job_id,)).fetchall()
         return [AttemptRecord(job_id=row[0], attempt=int(row[1]),
                               started_at=row[2], finished_at=row[3],
                               outcome=row[4], transient=bool(row[5]),
-                              error=row[6])
+                              error=row[6], shard=row[7])
                 for row in rows]
 
     def _transition(self, job_id: str, from_state: str, to_state: str,
