@@ -1,8 +1,18 @@
 """``python -m repro`` dispatches to the CLI."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pipe (e.g. ``repro lint --list-rules | head``)
+        # closed early; exit quietly instead of dumping a traceback.
+        # Re-point stdout at devnull so interpreter shutdown does not
+        # trip over the same broken descriptor while flushing.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -1,0 +1,41 @@
+"""Project-native static analysis: ``repro lint`` as a library.
+
+The lint engine and its rule catalogue mechanically enforce the
+conventions the codebase's correctness rests on -- determinism on the
+verdict path, single-sourced solver defaults, wire-only executor
+boundaries, annotated lock discipline, float64 soundness gates, the
+serve failure taxonomy, and store-only SQLite access.  See
+``docs/static_analysis.md`` for the catalogue and
+:mod:`repro.analysis.core` for the engine.
+
+Typical library use::
+
+    from repro.analysis import lint_paths
+    result = lint_paths(["src/repro"])
+    assert result.clean, result.findings
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    ModuleContext,
+    Rule,
+    UNUSED_SUPPRESSION,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "UNUSED_SUPPRESSION",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

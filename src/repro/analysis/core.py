@@ -1,0 +1,399 @@
+"""The lint engine: module contexts, the rule protocol, suppressions.
+
+:mod:`repro.analysis` exists because seven PRs of substrate rest on
+conventions that runtime tests can only probe, not prove: verdict-path
+code must be deterministic, solver defaults must flow from one config
+object, executors must speak wire strings, and shared mutable state must
+be touched under its lock.  Each convention is encoded here as a
+:class:`Rule` -- a small AST pass over one :class:`ModuleContext` -- so a
+violation fails CI the moment it is written instead of surfacing as a
+flaky distributed test three PRs later.
+
+Vocabulary:
+
+* :class:`ModuleContext` -- one parsed source file: AST, source lines,
+  the dotted module name (which rules use for scoping), an import map
+  resolving local names to fully-qualified dotted paths, a parent map
+  over the AST, and the file's inline suppressions.
+* :class:`Rule` -- a named check.  ``scope`` restricts it to dotted
+  module prefixes; ``check(ctx)`` yields :class:`Finding` objects.
+* :class:`Finding` -- one violation: rule, file, line, column, message.
+* Suppressions -- ``# repro: disable=<rule>[,<rule>...]`` on the
+  offending line silences those rules for that line only.  Every
+  suppression must *earn its keep*: one that silences nothing is itself
+  reported under the ``unused-suppression`` pseudo-rule, so stale
+  opt-outs cannot accumulate.
+
+The engine entry points are :func:`lint_source` (one in-memory module --
+the fixture-test workhorse) and :func:`lint_paths` (files and directory
+trees -- the CLI workhorse).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "UNUSED_SUPPRESSION",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Pseudo-rule under which stale ``# repro: disable=`` comments are
+#: reported.  Selectable/ignorable like any real rule, but it has no
+#: ``Rule`` class: the engine itself emits it after all rules ran.
+UNUSED_SUPPRESSION = "unused-suppression"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s\-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}"
+
+
+class ModuleContext:
+    """One parsed module, with everything a rule needs to reason about it.
+
+    ``module`` is the dotted name rules scope on (derived from the file's
+    package position on disk, or supplied explicitly by fixture tests);
+    ``path`` is the display path findings carry.
+    """
+
+    def __init__(self, source: str, module: str, path: str = "<memory>"):
+        self.source = source
+        self.module = module
+        self.path = path
+        self.lines = source.splitlines()
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"{path}: cannot parse: {exc}") from exc
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.imports = self._import_map()
+        #: ``{line -> set of rule names}`` from inline disable comments.
+        self.suppressions: Dict[int, Set[str]] = self._parse_suppressions()
+
+    # ------------------------------------------------------------ structure
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    # -------------------------------------------------------------- imports
+    def _import_map(self) -> Dict[str, str]:
+        """Local name -> fully-qualified dotted path, from every import
+        statement in the module (any nesting level -- lazy function-local
+        imports are this codebase's idiom for cycle avoidance)."""
+        mapping: Dict[str, str] = {}
+        package = self.module.rsplit(".", 1)[0] if "." in self.module \
+            else self.module
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        mapping[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``; attribute chains
+                        # then resolve naturally through qualname().
+                        root = alias.name.split(".", 1)[0]
+                        mapping.setdefault(root, root)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: climb from this module's package.
+                    parts = self.module.split(".")
+                    climb = len(parts) - node.level
+                    prefix = ".".join(parts[:max(climb, 0)])
+                    base = f"{prefix}.{base}".strip(".") if base else prefix
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mapping[local] = f"{base}.{alias.name}" if base \
+                        else alias.name
+        return mapping
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """The fully-qualified dotted name of a ``Name``/``Attribute``
+        chain, with the leading segment resolved through the import map
+        (``np.random.default_rng`` -> ``numpy.random.default_rng``).
+        ``None`` for expressions that are not plain dotted chains."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        parts[0] = self.imports.get(parts[0], parts[0])
+        return ".".join(parts)
+
+    def receiver_hint(self, func: ast.AST) -> Optional[str]:
+        """For a method call ``<recv>.m(...)``: the terminal identifier of
+        the receiver (``self._conn.execute`` -> ``_conn``;
+        ``self._remotes[url].execute`` -> ``_remotes``)."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = func.value
+        while isinstance(recv, ast.Subscript):
+            recv = recv.value
+        if isinstance(recv, ast.Attribute):
+            return recv.attr
+        if isinstance(recv, ast.Name):
+            return recv.id
+        return None
+
+    # --------------------------------------------------------- suppressions
+    def _parse_suppressions(self) -> Dict[int, Set[str]]:
+        table: Dict[int, Set[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            names = {name.strip() for name in match.group(1).split(",")}
+            table[number] = {name for name in names if name}
+        return table
+
+
+class Rule:
+    """One named invariant check.
+
+    Subclasses set ``name``/``description``, optionally restrict
+    themselves with ``scope`` (dotted module prefixes; empty = every
+    module), and implement :meth:`check` yielding findings.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: Dotted module prefixes the rule applies to (exact module or any
+    #: submodule).  Empty tuple: applies everywhere.
+    scope: Tuple[str, ...] = ()
+    #: Modules exempt even inside the scope (e.g. the defining module of
+    #: the convention itself).
+    exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if any(ctx.module == stem or ctx.module.startswith(stem + ".")
+               for stem in self.exempt):
+            return False
+        if not self.scope:
+            return True
+        return any(ctx.module == stem or ctx.module.startswith(stem + ".")
+                   for stem in self.scope)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(rule=self.name, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        table: Dict[str, int] = {}
+        for finding in self.findings:
+            table[finding.rule] = table.get(finding.rule, 0) + 1
+        return dict(sorted(table.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules_run),
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+# ------------------------------------------------------------------ engine
+
+
+def _active_rules(select: Optional[Sequence[str]],
+                  ignore: Optional[Sequence[str]]) -> List[Rule]:
+    from repro.analysis.rules import ALL_RULES
+
+    known = {rule.name for rule in ALL_RULES} | {UNUSED_SUPPRESSION}
+    for names, flag in ((select, "--select"), (ignore, "--ignore")):
+        unknown = set(names or ()) - known
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule name(s) {sorted(unknown)} in {flag}; "
+                f"known: {sorted(known)}")
+    rules = [type(rule)() for rule in ALL_RULES]
+    if select:
+        rules = [rule for rule in rules if rule.name in set(select)]
+    if ignore:
+        rules = [rule for rule in rules if rule.name not in set(ignore)]
+    return rules
+
+
+def _suppression_active(select: Optional[Sequence[str]],
+                        ignore: Optional[Sequence[str]]) -> bool:
+    if select is not None and UNUSED_SUPPRESSION not in select:
+        return False
+    if ignore is not None and UNUSED_SUPPRESSION in ignore:
+        return False
+    return True
+
+
+def _lint_context(ctx: ModuleContext, rules: Sequence[Rule],
+                  check_suppressions: bool) -> List[Finding]:
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    kept: List[Finding] = []
+    used: Set[Tuple[int, str]] = set()
+    for finding in raw:
+        names = ctx.suppressions.get(finding.line, set())
+        if finding.rule in names:
+            used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+    if check_suppressions:
+        active = {rule.name for rule in rules}
+        for line, names in sorted(ctx.suppressions.items()):
+            for name in sorted(names):
+                if name not in active:
+                    # Unknown rule name, or a rule not selected this run:
+                    # flag the former, skip the latter (we cannot judge
+                    # whether an unselected rule would have fired).
+                    if name not in _known_rule_names():
+                        kept.append(Finding(
+                            rule=UNUSED_SUPPRESSION, path=ctx.path,
+                            line=line, col=1,
+                            message=f"suppression names unknown rule "
+                                    f"{name!r}"))
+                    continue
+                if (line, name) not in used:
+                    kept.append(Finding(
+                        rule=UNUSED_SUPPRESSION, path=ctx.path, line=line,
+                        col=1,
+                        message=f"suppression of {name!r} silences "
+                                "nothing on this line; remove it"))
+    return kept
+
+
+def _known_rule_names() -> Set[str]:
+    from repro.analysis.rules import ALL_RULES
+
+    return {rule.name for rule in ALL_RULES} | {UNUSED_SUPPRESSION}
+
+
+def lint_source(source: str, module: str, path: str = "<memory>",
+                select: Optional[Sequence[str]] = None,
+                ignore: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint one in-memory module (the fixture-test entry point)."""
+    rules = _active_rules(select, ignore)
+    ctx = ModuleContext(source, module=module, path=path)
+    findings = _lint_context(ctx, rules,
+                             _suppression_active(select, ignore))
+    findings.sort(key=Finding.sort_key)
+    return LintResult(findings=findings, files_scanned=1,
+                      rules_run=tuple(rule.name for rule in rules))
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of a file, from its package position: walk
+    up while ``__init__.py`` marks the parent as a package."""
+    path = path.resolve()
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if not path.exists():
+            raise AnalysisError(f"no such path: {entry}")
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise AnalysisError(f"not a python file: {entry}")
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint files and directory trees (the CLI entry point)."""
+    rules = _active_rules(select, ignore)
+    check = _suppression_active(select, ignore)
+    findings: List[Finding] = []
+    scanned = 0
+    for file_path in iter_python_files(paths):
+        scanned += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {file_path}: {exc}") from exc
+        ctx = ModuleContext(source, module=module_name_for(file_path),
+                            path=str(file_path))
+        findings.extend(_lint_context(ctx, rules, check))
+    findings.sort(key=Finding.sort_key)
+    return LintResult(findings=findings, files_scanned=scanned,
+                      rules_run=tuple(rule.name for rule in rules))
+
+
+def iter_findings(result: LintResult) -> Iterable[Finding]:
+    return iter(result.findings)

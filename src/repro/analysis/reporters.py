@@ -1,0 +1,39 @@
+"""Rendering a :class:`~repro.analysis.core.LintResult` for humans / CI.
+
+Two formats:
+
+* :func:`render_text` -- one ``path:line:col: rule: message`` line per
+  finding plus a one-line summary; what a developer reads in a terminal.
+* :func:`render_json` -- a stable machine-readable document (``version``,
+  ``files_scanned``, ``rules``, per-rule ``counts``, ``findings``); what
+  the CI lint job archives so regressions are diffable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts()
+    if counts:
+        breakdown = ", ".join(f"{name}: {count}"
+                              for name, count in counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_scanned} file(s) [{breakdown}]")
+    else:
+        lines.append(
+            f"clean: {result.files_scanned} file(s), "
+            f"{len(result.rules_run)} rule(s), 0 findings")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.to_dict(), indent=2, sort_keys=False)

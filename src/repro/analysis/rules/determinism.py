@@ -1,0 +1,147 @@
+"""``determinism``: the verdict path may not consult ambient entropy.
+
+PR 1-4 promise byte-identical verdicts for identical inputs -- across
+runs *and* across worker counts (``workers=1`` vs ``workers=8`` is a
+tier-1 equivalence gate).  That only holds if verdict-path code never
+reads a source whose value varies between runs: wall-clock time,
+unseeded RNGs, process-local ``id()``/``hash()`` values, or the
+iteration order of a ``set``.
+
+Flagged inside ``repro.exact``/``repro.domains``/
+``repro.core.propositions``/``repro.api``:
+
+* ``time.time``/``time.time_ns`` and ``datetime.now/utcnow/today``
+  (``time.monotonic``/``perf_counter`` stay legal: duration measurement
+  is reporting, not decision-making -- provenance records them);
+* any call into the ``random`` module, and ``numpy.random.*`` except
+  ``default_rng(seed)`` *with* an explicit seed argument;
+* builtin ``id()`` and ``hash()`` calls (CPython address-dependent);
+* iterating a literal ``set``/``set()``/``frozenset()``/``SetComp``
+  (``for``, comprehensions, ``sorted``-less consumption) into what
+  becomes an ordered result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["DeterminismRule"]
+
+_CLOCK_CALLS = {
+    "time.time": "wall-clock time varies per run",
+    "time.time_ns": "wall-clock time varies per run",
+    "datetime.datetime.now": "wall-clock time varies per run",
+    "datetime.datetime.utcnow": "wall-clock time varies per run",
+    "datetime.datetime.today": "wall-clock time varies per run",
+    "datetime.date.today": "wall-clock time varies per run",
+}
+
+_ADDRESS_CALLS = {
+    "id": "id() is a process-local address",
+    "hash": "hash() is salted per process for str/bytes",
+}
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = ("verdict-path modules may not read clocks, unseeded "
+                   "RNGs, id()/hash(), or bare-set iteration order")
+    scope = ("repro.exact", "repro.domains", "repro.core.propositions",
+             "repro.api")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(ctx, node.iter,
+                                                 "for-loop")
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_iteration(ctx, node.iter,
+                                                 "comprehension")
+
+    # ----------------------------------------------------------- calls
+    def _check_call(self, ctx: ModuleContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        qual = ctx.qualname(node.func)
+        if qual is None:
+            return
+        if qual in _CLOCK_CALLS:
+            yield self.finding(
+                ctx, node,
+                f"call to {qual}() on the verdict path: "
+                f"{_CLOCK_CALLS[qual]}; use a value threaded in from "
+                "the caller (or time.monotonic for durations)")
+            return
+        if qual in _ADDRESS_CALLS and isinstance(node.func, ast.Name):
+            # ``hash()`` inside a ``__hash__`` implementation is the one
+            # place it belongs: that value only ever feeds in-process
+            # dict/set placement, never a verdict.
+            if qual == "hash" and self._inside_hash_dunder(ctx, node):
+                return
+            yield self.finding(
+                ctx, node,
+                f"{_ADDRESS_CALLS[qual]}; verdict-path code must not "
+                "depend on it")
+            return
+        if qual.startswith("random."):
+            yield self.finding(
+                ctx, node,
+                f"call to {qual}() uses the global (unseeded) random "
+                "module; thread an explicitly seeded Generator through "
+                "instead")
+            return
+        if qual.startswith("numpy.random."):
+            terminal = qual.rsplit(".", 1)[-1]
+            if terminal in ("default_rng", "Generator", "SeedSequence",
+                            "PCG64", "Philox", "SFC64", "MT19937") \
+                    and (node.args or node.keywords):
+                return  # explicitly seeded: reproducible by construction
+            yield self.finding(
+                ctx, node,
+                f"call to {qual}() is unseeded; verdict-path randomness "
+                "must come from an explicitly seeded "
+                "numpy.random.default_rng(seed)")
+
+    @staticmethod
+    def _inside_hash_dunder(ctx: ModuleContext, node: ast.AST) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                return ancestor.name == "__hash__"
+        return False
+
+    # ------------------------------------------------------- iteration
+    def _check_iteration(self, ctx: ModuleContext, source: ast.expr,
+                         where: str) -> Iterator[Finding]:
+        # Peel order-preserving wrappers: enumerate(s), list(s), tuple(s)
+        # inherit the set's arbitrary order; sorted(s) launders it.
+        inner = source
+        while isinstance(inner, ast.Call):
+            callee = inner.func
+            name = callee.id if isinstance(callee, ast.Name) else None
+            if name in ("enumerate", "list", "tuple", "reversed") \
+                    and inner.args:
+                inner = inner.args[0]
+            elif name in ("set", "frozenset"):
+                break
+            else:
+                return
+        if isinstance(inner, (ast.Set, ast.SetComp)):
+            yield self.finding(
+                ctx, source,
+                f"{where} iterates a set literal: iteration order is "
+                "arbitrary and leaks into the result; sort first or use "
+                "a tuple/list")
+        elif isinstance(inner, ast.Call):
+            callee = inner.func
+            if isinstance(callee, ast.Name) \
+                    and callee.id in ("set", "frozenset"):
+                yield self.finding(
+                    ctx, source,
+                    f"{where} iterates a {callee.id}(): iteration order "
+                    "is arbitrary and leaks into the result; sort first "
+                    "or use a tuple/list")

@@ -1,0 +1,267 @@
+"""``lock-discipline``: a lightweight, annotation-driven race detector.
+
+The serving substrate (PRs 5-7) and the shared worker pool are full of
+state mutated from many threads: the scheduler's stats counters, the
+store's connection, the :class:`HashRing`'s point table, the registry's
+worker map, the encoding cache, ``core.parallel``'s reservation count.
+Each is already guarded by a lock *by convention*; this rule makes the
+convention checkable.
+
+Declaration -- a trailing comment on the assignment that introduces the
+state::
+
+    self._workers = {}   # guarded-by: self._lock
+    _RESERVED = 0        # guarded-by: _POOL_LOCK
+
+or, when the declaration line is already full, a bare comment line
+directly above the assignment::
+
+    # guarded-by: self._stats_lock
+    self.failures_by_type: Dict[str, int] = {}
+
+Check -- every later read or write of that attribute (same class) or
+global (same module) must be lexically inside ``with <lockexpr>:`` for
+the *same* lock expression (textually, after ``ast.unparse``
+normalisation).
+
+Escape hatches, matching how the codebase actually works:
+
+* ``__init__``/``__del__``/``__enter__``/``__exit__`` bodies are exempt
+  (construction and teardown are single-threaded by contract);
+* a method whose name ends in ``_locked`` is exempt *inside* -- it
+  declares "my caller holds the lock" -- but the rule then checks
+  interprocedurally that every ``self.<helper>_locked()`` call site
+  itself holds a declared lock;
+* a nested ``def``/``lambda`` does **not** inherit the enclosing
+  ``with``: the closure may run on another thread (that is the whole
+  point of handing it to a pool), so held locks reset at function
+  boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["LockDisciplineRule"]
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z0-9_.\[\]()'\"]+)")
+
+#: Methods whose bodies run before/after the object is shared.
+_EXEMPT_METHODS = frozenset({"__init__", "__del__", "__enter__",
+                             "__exit__", "__post_init__"})
+
+
+def _normalize(expr: ast.expr) -> str:
+    return ast.unparse(expr)
+
+
+class _Declaration:
+    """One ``# guarded-by:`` annotation: what is guarded, by which lock."""
+
+    def __init__(self, kind: str, owner: Optional[str], target: str,
+                 lock: str, line: int):
+        self.kind = kind          # "attr" | "global"
+        self.owner = owner        # class name for attrs, None for globals
+        self.target = target      # attribute or global name
+        self.lock = lock          # normalized lock expression
+        self.line = line
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = ("state annotated '# guarded-by: <lock>' is only "
+                   "touched inside 'with <lock>:'")
+    scope = ()  # annotation-driven: applies wherever annotations exist
+
+    # ------------------------------------------------------------ harvest
+    def _declarations(self, ctx: ModuleContext) -> List[_Declaration]:
+        decls: List[_Declaration] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign,
+                                     ast.AugAssign)):
+                continue
+            # The annotation rides the assignment line, or -- when the
+            # declaration is too long to share a line -- a bare comment
+            # line directly above it.
+            match = None
+            for lineno in (node.lineno, node.lineno - 1):
+                if not 1 <= lineno <= len(ctx.lines):
+                    continue
+                text = ctx.lines[lineno - 1]
+                if lineno != node.lineno \
+                        and not text.lstrip().startswith("#"):
+                    continue
+                match = _GUARDED_RE.search(text)
+                if match is not None:
+                    break
+            if match is None:
+                continue
+            lock = match.group(1)
+            targets = [node.target] if isinstance(
+                node, (ast.AnnAssign, ast.AugAssign)) else node.targets
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    owner = self._enclosing_class(ctx, node)
+                    decls.append(_Declaration(
+                        "attr", owner, target.attr, lock, node.lineno))
+                elif isinstance(target, ast.Name):
+                    if self._enclosing_function(ctx, node) is None:
+                        decls.append(_Declaration(
+                            "global", None, target.id, lock, node.lineno))
+        return decls
+
+    @staticmethod
+    def _enclosing_class(ctx: ModuleContext,
+                         node: ast.AST) -> Optional[str]:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor.name
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+        return None
+
+    @staticmethod
+    def _enclosing_function(ctx: ModuleContext,
+                            node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                return ancestor
+        return None
+
+    # -------------------------------------------------------------- check
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        decls = self._declarations(ctx)
+        if not decls:
+            return
+        attr_guards: Dict[Tuple[Optional[str], str], str] = {}
+        global_guards: Dict[str, str] = {}
+        decl_lines: Set[int] = set()
+        for decl in decls:
+            decl_lines.add(decl.line)
+            if decl.kind == "attr":
+                attr_guards[(decl.owner, decl.target)] = decl.lock
+            else:
+                global_guards[decl.target] = decl.lock
+        # Walk each top-level function/method with a held-lock stack.
+        for node in ctx.tree.body:
+            yield from self._walk_scope(ctx, node, frozenset(),
+                                        attr_guards, global_guards,
+                                        decl_lines, class_name=None,
+                                        exempt=False)
+
+    def _walk_scope(self, ctx: ModuleContext, node: ast.AST,
+                    held: frozenset, attr_guards, global_guards,
+                    decl_lines: Set[int], class_name: Optional[str],
+                    exempt: bool) -> Iterator[Finding]:
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                yield from self._walk_scope(
+                    ctx, child, frozenset(), attr_guards, global_guards,
+                    decl_lines, class_name=node.name, exempt=False)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn_exempt = (node.name in _EXEMPT_METHODS
+                         or node.name.endswith("_locked"))
+            for child in node.body:
+                yield from self._walk_scope(
+                    ctx, child, frozenset(), attr_guards, global_guards,
+                    decl_lines, class_name, exempt=fn_exempt)
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._walk_scope(
+                ctx, node.body, frozenset(), attr_guards, global_guards,
+                decl_lines, class_name, exempt=exempt)
+            return
+        if isinstance(node, ast.With):
+            new_held = held
+            for item in node.items:
+                expr = item.context_expr
+                # ``with self._lock:`` and ``with lock:`` both count;
+                # so does ``with self._lock, other:``.
+                new_held = new_held | {_normalize(expr)}
+            for child in node.body:
+                yield from self._walk_scope(
+                    ctx, child, new_held, attr_guards, global_guards,
+                    decl_lines, class_name, exempt)
+            return
+        # Leaf inspection: accesses on this node itself, then recurse.
+        yield from self._check_node(ctx, node, held, attr_guards,
+                                    global_guards, decl_lines,
+                                    class_name, exempt)
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_scope(ctx, child, held, attr_guards,
+                                        global_guards, decl_lines,
+                                        class_name, exempt)
+
+    def _check_node(self, ctx: ModuleContext, node: ast.AST,
+                    held: frozenset, attr_guards, global_guards,
+                    decl_lines: Set[int], class_name: Optional[str],
+                    exempt: bool) -> Iterator[Finding]:
+        if exempt:
+            # Inside __init__ or a *_locked helper the body is trusted,
+            # but calls to *_locked helpers still are not: even __init__
+            # calling one is fine (single-threaded), so skip everything.
+            return
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            guard = attr_guards.get((class_name, node.attr))
+            if guard is not None \
+                    and getattr(node, "lineno", 0) not in decl_lines \
+                    and guard not in held:
+                yield self.finding(
+                    ctx, node,
+                    f"self.{node.attr} is guarded-by {guard} but "
+                    f"accessed without holding it (held: "
+                    f"{sorted(held) or 'none'})")
+        elif isinstance(node, ast.Name):
+            guard = global_guards.get(node.id)
+            if guard is not None \
+                    and getattr(node, "lineno", 0) not in decl_lines \
+                    and guard not in held \
+                    and not self._is_global_decl(ctx, node):
+                yield self.finding(
+                    ctx, node,
+                    f"global {node.id} is guarded-by {guard} but "
+                    f"accessed without holding it (held: "
+                    f"{sorted(held) or 'none'})")
+        if isinstance(node, ast.Call):
+            yield from self._check_locked_call(ctx, node, held,
+                                               attr_guards, class_name)
+
+    @staticmethod
+    def _is_global_decl(ctx: ModuleContext, node: ast.Name) -> bool:
+        parent = ctx.parent(node)
+        return isinstance(parent, (ast.Global, ast.Nonlocal))
+
+    def _check_locked_call(self, ctx: ModuleContext, node: ast.Call,
+                           held: frozenset, attr_guards,
+                           class_name: Optional[str]) -> Iterator[Finding]:
+        """Interprocedural step: ``self.helper_locked()`` asserts its
+        caller holds the lock guarding this class's annotated state."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr.endswith("_locked")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"):
+            return
+        class_locks = {lock for (owner, _attr), lock
+                       in attr_guards.items() if owner == class_name}
+        if not class_locks:
+            return
+        if not class_locks & held:
+            expected = sorted(class_locks)
+            yield self.finding(
+                ctx, node,
+                f"self.{func.attr}() requires its caller to hold "
+                f"{expected[0] if len(expected) == 1 else expected} "
+                f"(the _locked suffix is a contract), but no lock is "
+                "held here")

@@ -1,0 +1,73 @@
+"""``float64-soundness``: certification math stays in double precision.
+
+The exact pipeline's claim is *soundness*: when it says a property
+holds, the bound arithmetic proved it.  That proof is carried out in
+float64 end to end; a ``float32`` cast inside a certification module
+silently shrinks the mantissa under a soundness comparison.  The
+ROADMAP's mixed-precision item will eventually let *propagation* drop
+precision for speed -- but the gate comparisons never may, so this rule
+draws the line now, while the tree is clean, rather than after a
+low-precision cast slips into ``exact/``.
+
+Flagged inside ``repro.exact`` and ``repro.core.propositions``: any
+reference to ``numpy.float32``/``float16``/``half``/``single``, and the
+strings ``"float32"``/``"float16"`` used as ``dtype=``/``astype``
+arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["Float64SoundnessRule"]
+
+_NARROW_ATTRS = frozenset({"float32", "float16", "half", "single"})
+_NARROW_STRINGS = frozenset({"float32", "float16", "f4", "f2", "<f4",
+                             "<f2"})
+
+
+class Float64SoundnessRule(Rule):
+    name = "float64-soundness"
+    description = ("certification modules must not narrow below "
+                   "float64")
+    scope = ("repro.exact", "repro.core.propositions")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_attribute(self, ctx: ModuleContext,
+                         node: ast.Attribute) -> Iterator[Finding]:
+        if node.attr not in _NARROW_ATTRS:
+            return
+        qual = ctx.qualname(node)
+        if qual is None or not qual.startswith("numpy."):
+            return
+        yield self.finding(
+            ctx, node,
+            f"{qual} in a certification module: soundness comparisons "
+            "require float64; keep narrow dtypes out of repro.exact")
+
+    def _check_call(self, ctx: ModuleContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        # dtype="float32" keyword anywhere, or astype("float32").
+        is_astype = isinstance(node.func, ast.Attribute) \
+            and node.func.attr == "astype"
+        candidates = [kw.value for kw in node.keywords
+                      if kw.arg == "dtype"]
+        if is_astype and node.args:
+            candidates.append(node.args[0])
+        for value in candidates:
+            if isinstance(value, ast.Constant) \
+                    and isinstance(value.value, str) \
+                    and value.value in _NARROW_STRINGS:
+                yield self.finding(
+                    ctx, value,
+                    f"dtype {value.value!r} in a certification module: "
+                    "soundness comparisons require float64")

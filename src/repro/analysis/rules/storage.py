@@ -1,0 +1,62 @@
+"""``store-discipline``: SQLite stays behind :class:`JobStore`.
+
+PR 5 put every row the service persists behind ``repro.serve.store``:
+the store owns the connection, the schema, the migration table, and --
+critically -- the lock serialising access to them.  A ``conn.execute``
+elsewhere bypasses that lock *and* the schema-version handling, so the
+first migration would corrupt it.  This rule keeps the blast radius of
+any future schema change inside one file.
+
+Flagged outside ``repro.serve.store``: importing ``sqlite3`` at all, and
+calling ``.execute``/``.executemany``/``.executescript`` on a receiver
+whose name marks it as a DB handle (``conn``/``_conn``/``cursor``/...).
+The executor contract's ``.execute(spec_json, ...)`` has the same method
+name but non-DB receivers, and is policed by ``wire-discipline``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["StoreDisciplineRule"]
+
+_DB_RECEIVERS = frozenset({"conn", "_conn", "connection", "cursor", "cur",
+                           "db"})
+_DB_METHODS = frozenset({"execute", "executemany", "executescript"})
+
+
+class StoreDisciplineRule(Rule):
+    name = "store-discipline"
+    description = ("sqlite3 access only inside repro.serve.store "
+                   "(JobStore owns the connection and its lock)")
+    scope = ("repro",)
+    exempt = ("repro.serve.store",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".", 1)[0] == "sqlite3":
+                        yield self.finding(
+                            ctx, node,
+                            "sqlite3 imported outside repro.serve.store; "
+                            "go through JobStore methods")
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".", 1)[0] == "sqlite3":
+                    yield self.finding(
+                        ctx, node,
+                        "sqlite3 imported outside repro.serve.store; "
+                        "go through JobStore methods")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in _DB_METHODS \
+                        and ctx.receiver_hint(func) in _DB_RECEIVERS:
+                    yield self.finding(
+                        ctx, node,
+                        f"raw DB call .{func.attr}() on a connection "
+                        "outside repro.serve.store; add/extend a "
+                        "JobStore method instead")

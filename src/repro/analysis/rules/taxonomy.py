@@ -1,0 +1,94 @@
+"""``no-swallowed-taxonomy``: broad except blocks must feed the taxonomy.
+
+PR 6 built the failure taxonomy (:func:`repro.serve.resilience.
+classify_failure`, ``TransientExecutionError`` vs ``PermanentJobError``)
+precisely so that *every* failure inside the serving stack is either
+retried, terminally failed, or counted -- never dropped.  A bare
+``except Exception: pass`` reverts that: the retry machinery cannot see
+what it never learns about, and a crash becomes a silently lost job.
+
+Inside ``repro.serve``, every handler catching ``Exception``/
+``BaseException`` (or a bare ``except:``) must do at least one of:
+
+* ``raise`` (re-raise or translate),
+* call something whose name mentions the taxonomy (``classify_failure``,
+  ``*fail*``),
+* record the error (assign/augment an attribute or name containing
+  ``error``, or pass an ``error=``/``error_type=`` keyword).
+
+Narrow handlers (``except OSError``, ``except ReproError``) are not this
+rule's business: catching a *specific* exception is a decision, catching
+``Exception`` and doing none of the above is amnesia.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["NoSwallowedTaxonomyRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+class NoSwallowedTaxonomyRule(Rule):
+    name = "no-swallowed-taxonomy"
+    description = ("'except Exception' in repro.serve must re-raise, "
+                   "classify, or record the failure")
+    scope = ("repro.serve",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if self._handles_failure(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                "broad except swallows the failure taxonomy: re-raise, "
+                "classify via classify_failure, or record error_type "
+                "(PR 6 contract)")
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True  # bare ``except:``
+        types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+            else [handler.type]
+        for entry in types:
+            name = entry.id if isinstance(entry, ast.Name) \
+                else entry.attr if isinstance(entry, ast.Attribute) \
+                else ""
+            if name in _BROAD:
+                return True
+        return False
+
+    @staticmethod
+    def _handles_failure(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.attr if isinstance(func, ast.Attribute) \
+                    else func.id if isinstance(func, ast.Name) else ""
+                if name == "classify_failure" or "fail" in name:
+                    return True
+                for kw in node.keywords:
+                    if kw.arg in ("error", "error_type", "exc_info"):
+                        return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    text = target.attr if isinstance(
+                        target, ast.Attribute) \
+                        else target.id if isinstance(target, ast.Name) \
+                        else ""
+                    if "error" in text or "fail" in text:
+                        return True
+        return False

@@ -35,6 +35,8 @@ __all__ = [
     "DEFAULT_METHOD",
     "DEFAULT_DOMAIN",
     "DEFAULT_LP_FORM",
+    "DEFAULT_INTERVAL_PRUNE",
+    "DEFAULT_NODE_TIGHTEN",
     "DEFAULT_ENCODING_CACHE",
     "ENCODING_CACHE_POLICIES",
     "LegacyEntryPointWarning",
@@ -61,6 +63,11 @@ DEFAULT_METHOD = "auto"
 DEFAULT_DOMAIN = "symbolic"
 #: LP composition form (``"auto"`` picks dense only for tiny systems).
 DEFAULT_LP_FORM = "auto"
+#: Interval pre-pruning of branch-and-bound nodes before their LP solve.
+DEFAULT_INTERVAL_PRUNE = True
+#: Feed batched phase-clamped bounds into each node LP (tighter
+#: relaxations; may change the search trajectory, hence off by default).
+DEFAULT_NODE_TIGHTEN = False
 #: Encoding-cache policy: ``"shared"`` draws from the process-wide
 #: fingerprint-keyed cache (PR 2); ``"private"`` builds a fresh encoding
 #: per solve, bypassing the cache (isolation for benchmarks/tests).
@@ -118,8 +125,8 @@ class VerifyConfig:
     method: str = DEFAULT_METHOD
     domain: str = DEFAULT_DOMAIN
     lp_form: str = DEFAULT_LP_FORM
-    interval_prune: bool = True
-    node_tighten: bool = False
+    interval_prune: bool = DEFAULT_INTERVAL_PRUNE
+    node_tighten: bool = DEFAULT_NODE_TIGHTEN
     encoding_cache: str = DEFAULT_ENCODING_CACHE
 
     def __post_init__(self):

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.api.config import DEFAULT_WORKERS
 from repro.domains.box import Box
 
 __all__ = [
@@ -52,7 +53,7 @@ class Provenance:
     lp_solves: int = 0
     nodes: int = 0
     rounds: int = 0
-    workers: int = 1
+    workers: int = DEFAULT_WORKERS
     encoding_reuse: Dict[str, int] = field(default_factory=dict)
     #: ``True`` when this verdict was replayed from a verdict cache (the
     #: serving layer of :mod:`repro.serve`) instead of being solved anew.

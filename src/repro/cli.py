@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -280,6 +281,21 @@ def build_parser() -> argparse.ArgumentParser:
                                            "repro serve")
     cancel.add_argument("job", help="job id")
     cancel.add_argument("--url", default="http://127.0.0.1:8717")
+
+    lint = sub.add_parser(
+        "lint", help="run the project's static-analysis rules "
+                     "(src/ must stay clean; see docs/static_analysis.md)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint (default: src if it "
+                           "exists, else .)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable JSON report")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule names to run exclusively")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule names to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     return parser
 
 
@@ -715,6 +731,32 @@ def _cmd_cancel(args) -> int:
     return 0 if result["state"] == "cancelled" else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis.core import UNUSED_SUPPRESSION
+    from repro.analysis.rules import ALL_RULES
+    from repro.errors import AnalysisError
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.name:24} [{scope}]\n    {rule.description}")
+        print(f"{UNUSED_SUPPRESSION:24} [everywhere]\n    "
+              "a '# repro: disable=' comment must silence a real finding")
+        return 0
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        result = lint_paths(paths, select=select, ignore=ignore)
+    except AnalysisError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -736,6 +778,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_status(args)
     if args.command == "cancel":
         return _cmd_cancel(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -21,7 +21,6 @@ single ``.npz`` and reloaded in a later engineering iteration.
 
 from __future__ import annotations
 
-import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,6 +28,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.api.config import DEFAULT_DOMAIN
 from repro.errors import ArtifactError
 from repro.domains.box import Box
 from repro.nn.network import Network
@@ -44,7 +44,7 @@ class StateAbstractions:
     """The layered state abstraction ``S_1 … S_n`` (boxes, per paper Sec. V)."""
 
     boxes: List[Box]
-    domain: str = "symbolic"
+    domain: str = DEFAULT_DOMAIN
 
     def __post_init__(self):
         if not self.boxes:

@@ -43,11 +43,11 @@ _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_LOCK = threading.Lock()
 _POOL_THREAD_PREFIX = "repro-subproblem"
 _POOL_SIZE = max(1, os.cpu_count() or 1)
-#: Shared-pool width reserved by in-flight run_parallel calls (guarded by
-#: _POOL_LOCK).  Every call reserves its full concurrent width up front, so
-#: the sum of reservations never exceeds the pool and no admitted task can
-#: queue behind another call's blocked tasks.
-_RESERVED = 0
+#: Shared-pool width reserved by in-flight run_parallel calls.  Every call
+#: reserves its full concurrent width up front, so the sum of reservations
+#: never exceeds the pool and no admitted task can queue behind another
+#: call's blocked tasks.
+_RESERVED = 0  # guarded-by: _POOL_LOCK
 
 
 def _shared_pool() -> ThreadPoolExecutor:

@@ -18,7 +18,6 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.errors import ArtifactError
 from repro.api.config import (

@@ -18,12 +18,12 @@ of ``Δin`` to ``Din``, exact for boxed domains).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import DomainError, ShapeError, UnsupportedLayerError
-from repro.nn.layers import Dense, Flatten, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers import LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.network import Network
 
 __all__ = ["Box", "box_kappa", "affine_bounds"]
@@ -192,8 +192,14 @@ class Box:
         return float(np.linalg.norm(gap, ord=ord))
 
     def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Uniform samples ``(n, d)`` from the box."""
-        rng = rng or np.random.default_rng()
+        """Uniform samples ``(n, d)`` from the box.
+
+        Sampling is a *probe* API (counterexample search, drift
+        simulation), never a verdict input: every verdict-path caller
+        threads an explicitly seeded generator in, and the unseeded
+        fallback exists for interactive exploration only.
+        """
+        rng = rng or np.random.default_rng()  # repro: disable=determinism
         u = rng.uniform(size=(int(n), self.dim))
         return self.lower + u * self.widths
 

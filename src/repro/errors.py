@@ -55,6 +55,11 @@ class ServeError(ReproError):
     received an invalid request or hit an internal failure."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis engine (:mod:`repro.analysis`) was invoked with
+    an unknown rule name, an unreadable path, or unparseable source."""
+
+
 # --------------------------------------------------------------------------
 # The serving failure taxonomy.  Every way a claimed job can fail is one of
 # two kinds, and the retry machinery keys off that distinction alone:

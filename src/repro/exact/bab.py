@@ -19,14 +19,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SolverError
 from repro.api.config import (
+    DEFAULT_INTERVAL_PRUNE,
     DEFAULT_LP_FORM,
     DEFAULT_NODE_LIMIT,
+    DEFAULT_NODE_TIGHTEN,
     DEFAULT_TOL,
     DEFAULT_WORKERS,
     VerifyConfig,
@@ -71,7 +73,7 @@ class BaBResult:
     rounds: int = 0
     max_batch: int = 0
     mean_batch: float = 0.0
-    workers: int = 1
+    workers: int = DEFAULT_WORKERS
 
     @property
     def optimum(self) -> float:
@@ -99,9 +101,9 @@ class BaBSolver:
                  encoding: Optional[NetworkEncoding] = None,
                  tol: float = DEFAULT_TOL,
                  node_limit: int = DEFAULT_NODE_LIMIT,
-                 interval_prune: bool = True,
+                 interval_prune: bool = DEFAULT_INTERVAL_PRUNE,
                  lp_form: str = DEFAULT_LP_FORM,
-                 node_tighten: bool = False,
+                 node_tighten: bool = DEFAULT_NODE_TIGHTEN,
                  workers: int = DEFAULT_WORKERS,
                  frontier_width: Optional[int] = None,
                  frontier: Optional[bool] = None):
@@ -494,7 +496,7 @@ def maximize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
                     node_limit: int = DEFAULT_NODE_LIMIT,
                     tol: float = DEFAULT_TOL,
-                    interval_prune: bool = True,
+                    interval_prune: bool = DEFAULT_INTERVAL_PRUNE,
                     lp_form: str = DEFAULT_LP_FORM,
                     workers: int = DEFAULT_WORKERS) -> BaBResult:
     """Deprecated shim: one-shot ``max c @ f(x)`` over ``input_box``.
@@ -517,7 +519,7 @@ def minimize_output(network: Network, input_box: Box, c: np.ndarray,
                     threshold: Optional[float] = None,
                     node_limit: int = DEFAULT_NODE_LIMIT,
                     tol: float = DEFAULT_TOL,
-                    interval_prune: bool = True,
+                    interval_prune: bool = DEFAULT_INTERVAL_PRUNE,
                     lp_form: str = DEFAULT_LP_FORM,
                     workers: int = DEFAULT_WORKERS) -> BaBResult:
     """Deprecated shim: one-shot ``min c @ f(x)`` over ``input_box``.

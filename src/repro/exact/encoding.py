@@ -262,10 +262,11 @@ class _LPBase:
 # --------------------------------------------------------------------------
 # Encoding cache (proof-reuse substrate: same (weights, box) => same system)
 # --------------------------------------------------------------------------
+# guarded-by: _ENCODING_CACHE_LOCK
 _ENCODING_CACHE: "OrderedDict[tuple, NetworkEncoding]" = OrderedDict()
 _ENCODING_CACHE_LOCK = threading.Lock()
 _ENCODING_CACHE_SIZE = 32
-_ENCODING_CACHE_STATS = {"hits": 0, "misses": 0}
+_ENCODING_CACHE_STATS = {"hits": 0, "misses": 0}  # guarded-by: _ENCODING_CACHE_LOCK
 #: Guards the class-level construction counter (``NetworkEncoding.builds``):
 #: ``+=`` on an attribute is not atomic in CPython, and encodings are
 #: constructed from worker threads by the parallel proposition checks.

@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.config import DEFAULT_TOL
 from repro.errors import SolverError
 from repro.exact.encoding import LinearSystem
 from repro.exact.lp import (
@@ -71,7 +72,7 @@ def _solve_relaxation(c, system: LinearSystem, extra_bounds):
 
 def solve_milp(c: np.ndarray, system: LinearSystem,
                maximize: bool = False,
-               tol: float = 1e-6,
+               tol: float = DEFAULT_TOL,
                node_limit: int = 10000) -> MILPResult:
     """Solve ``min (or max) c @ x`` over the mixed-integer set in ``system``.
 

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.config import DEFAULT_MAX_BOXES
 from repro.domains.box import Box
 from repro.domains.symbolic import SymbolicPropagator
 from repro.nn.network import Network
@@ -61,7 +62,7 @@ def _concrete_violation(network: Network, box: Box, target: Box,
 
 
 def check_containment_split(network: Network, input_box: Box, target: Box,
-                            max_boxes: int = 2000,
+                            max_boxes: int = DEFAULT_MAX_BOXES,
                             max_depth: int = 30,
                             probe_samples: int = 4,
                             seed: int = 0) -> SplitResult:

@@ -17,7 +17,7 @@ Two primitives cover everything the continuous-verification core needs:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -36,11 +36,9 @@ from repro.domains.box import Box
 from repro.domains.propagate import output_box
 from repro.exact.bab import (
     BAB_NODE_LIMIT,
-    BAB_PROVED,
     BAB_REFUTED,
     BaBSolver,
 )
-from repro.exact.encoding import NetworkEncoding
 from repro.exact.splitting import check_containment_split
 from repro.nn.network import Network
 

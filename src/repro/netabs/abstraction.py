@@ -26,7 +26,7 @@ ones fail loudly -- exactly the behaviour Proposition 6 needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ the network by *block*, so "reuse state abstraction ``S_i``" and "check layer
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 

@@ -109,9 +109,9 @@ class HashRing:
             raise ServeError(f"replicas must be >= 1, got {replicas}")
         self.replicas = int(replicas)
         self._lock = threading.Lock()
-        self._points: List[int] = []      # sorted point hashes
-        self._owners: List[str] = []      # node owning each point
-        self._nodes: set = set()
+        self._points: List[int] = []   # guarded-by: self._lock (sorted)
+        self._owners: List[str] = []   # guarded-by: self._lock
+        self._nodes: set = set()       # guarded-by: self._lock
 
     @staticmethod
     def _hash(value: str) -> int:
@@ -192,7 +192,7 @@ class WorkerRegistry:
         self.worker_ttl = float(worker_ttl)
         self._clock = clock
         self._lock = threading.Lock()
-        self._workers: Dict[str, Dict] = {}
+        self._workers: Dict[str, Dict] = {}  # guarded-by: self._lock
 
     @staticmethod
     def normalize(url: str) -> str:
@@ -378,7 +378,10 @@ class RemoteExecutor:
         except TimeoutError:
             try:  # best effort: stop the overrun remote job too
                 self.client.cancel(job_id)
-            except Exception:
+            except (ServeError, OSError, ValueError):
+                # The cancel is advisory: the shard may be unreachable
+                # (that is *why* we timed out) or the job already gone.
+                # The JobTimeoutError below carries the real failure.
                 pass
             raise JobTimeoutError(
                 f"job exceeded its {timeout:g}s budget on shard "
@@ -459,12 +462,12 @@ class ShardRouter:
         self.heartbeat_interval = config.heartbeat_interval
         self._executor_factory = executor_factory
         self._lock = threading.Lock()
-        self._remotes: Dict[str, RemoteExecutor] = {}
-        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._remotes: Dict[str, RemoteExecutor] = {}  # guarded-by: self._lock
+        self._breakers: Dict[str, CircuitBreaker] = {}  # guarded-by: self._lock
         self._clock = clock
         self._local = threading.local()
-        self.routed_jobs = 0
-        self.rerouted_jobs = 0
+        self.routed_jobs = 0    # guarded-by: self._lock
+        self.rerouted_jobs = 0  # guarded-by: self._lock
         for url in worker_urls:
             self.add_worker(url)
         self._stop = threading.Event()
@@ -561,8 +564,12 @@ class ShardRouter:
                 self.routed_jobs += 1
                 if index > 0:
                     self.rerouted_jobs += 1
+                # Snapshot the executor while still under the lock: a
+                # concurrent remove/replace of the shard must not race
+                # the dict read (the solve itself runs unlocked).
+                remote = self._remotes[url]
             try:
-                result = self._remotes[url].execute(
+                result = remote.execute(
                     spec_json, config_json, timeout=timeout)
             except Exception as exc:  # noqa: BLE001 - classified below
                 _, transient = classify_failure(exc)
@@ -576,9 +583,12 @@ class ShardRouter:
             breaker.record_success()
             self.registry.note_success(url)
             return result
+        with self._lock:
+            breaker_states = {url: self._breakers[url].state
+                              for url in order if url in self._breakers}
         detail = ", ".join(
             f"{url}={'live' if self.registry.is_alive(url) else 'dead'}/"
-            f"{self._breakers[url].state}"
+            f"{breaker_states.get(url, 'unregistered')}"
             for url in order) or "no workers registered"
         raise ExecutorUnavailableError(
             f"no live shard admits the job "

@@ -37,7 +37,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     ExecutorCrashError,
@@ -200,21 +200,23 @@ class CircuitBreaker:
         self.reset_timeout = reset_timeout
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = BREAKER_CLOSED
-        self._consecutive_failures = 0
-        self._opened_at: Optional[float] = None
-        self._probe_in_flight = False
+        self._state = BREAKER_CLOSED              # guarded-by: self._lock
+        self._consecutive_failures = 0            # guarded-by: self._lock
+        self._opened_at: Optional[float] = None   # guarded-by: self._lock
+        self._probe_in_flight = False             # guarded-by: self._lock
         self.open_count = 0
         self.probe_count = 0
 
     @property
     def state(self) -> str:
         with self._lock:
-            return self._effective_state()
+            return self._effective_state_locked()
 
-    def _effective_state(self) -> str:
-        # Lock held.  ``open`` lazily becomes ``half_open`` once the
-        # cool-down has elapsed; no background timer thread needed.
+    def _effective_state_locked(self) -> str:
+        # The _locked suffix is the contract: the caller holds self._lock
+        # (checked by the lock-discipline lint rule).  ``open`` lazily
+        # becomes ``half_open`` once the cool-down has elapsed; no
+        # background timer thread needed.
         if self._state == BREAKER_OPEN and \
                 self._clock() - self._opened_at >= self.reset_timeout:
             self._state = BREAKER_HALF_OPEN
@@ -225,7 +227,7 @@ class CircuitBreaker:
         """Would :meth:`allow` admit a call right now (without actually
         claiming the half-open probe slot)?"""
         with self._lock:
-            state = self._effective_state()
+            state = self._effective_state_locked()
             if state == BREAKER_CLOSED:
                 return True
             if state == BREAKER_HALF_OPEN:
@@ -237,7 +239,7 @@ class CircuitBreaker:
         probe slot; the caller owes a ``record_success``/``record_failure``
         to release it."""
         with self._lock:
-            state = self._effective_state()
+            state = self._effective_state_locked()
             if state == BREAKER_CLOSED:
                 return True
             if state == BREAKER_HALF_OPEN and not self._probe_in_flight:
@@ -259,7 +261,7 @@ class CircuitBreaker:
         if not transient:
             return
         with self._lock:
-            state = self._effective_state()
+            state = self._effective_state_locked()
             self._consecutive_failures += 1
             if state == BREAKER_HALF_OPEN:
                 # The probe failed: straight back to open, fresh cool-down.
@@ -276,7 +278,7 @@ class CircuitBreaker:
     def stats(self) -> Dict:
         with self._lock:
             return {
-                "state": self._effective_state(),
+                "state": self._effective_state_locked(),
                 "consecutive_failures": self._consecutive_failures,
                 "failure_threshold": self.failure_threshold,
                 "reset_timeout": self.reset_timeout,
@@ -309,9 +311,9 @@ class SupervisedExecutor:
                                         clock=clock)
                          for _ in self.chain]
         self._lock = threading.Lock()
-        self._successes = [0] * len(self.chain)
-        self._failures = [0] * len(self.chain)
-        self._failovers = 0
+        self._successes = [0] * len(self.chain)  # guarded-by: self._lock
+        self._failures = [0] * len(self.chain)   # guarded-by: self._lock
+        self._failovers = 0                      # guarded-by: self._lock
 
     @property
     def name(self) -> str:

@@ -106,14 +106,15 @@ class VerificationService:
         self._wake = threading.Event()
         self._threads: List[threading.Thread] = []
         self._cancel_lock = threading.Lock()
-        self._cancel_requested: set = set()
+        self._cancel_requested: set = set()  # guarded-by: self._cancel_lock
         self._stats_lock = threading.Lock()
-        self.executed_jobs = 0
-        self.cache_hits = 0
-        self.worker_errors = 0
-        self.retries = 0
-        self.rejected_jobs = 0
-        self.parked_unavailable = 0
+        self.executed_jobs = 0        # guarded-by: self._stats_lock
+        self.cache_hits = 0           # guarded-by: self._stats_lock
+        self.worker_errors = 0        # guarded-by: self._stats_lock
+        self.retries = 0              # guarded-by: self._stats_lock
+        self.rejected_jobs = 0        # guarded-by: self._stats_lock
+        self.parked_unavailable = 0   # guarded-by: self._stats_lock
+        # guarded-by: self._stats_lock
         self.failures_by_type: Dict[str, int] = {}
 
     def _build_executor(self, executor):

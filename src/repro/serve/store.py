@@ -266,6 +266,7 @@ class JobStore:
         self.path = path
         self.max_attempts = max_attempts
         self._lock = threading.RLock()
+        # guarded-by: self._lock
         self._conn = sqlite3.connect(path, check_same_thread=False)
         with self._lock:
             self._conn.executescript(_SCHEMA)

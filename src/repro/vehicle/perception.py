@@ -11,7 +11,7 @@ property that lets network abstraction merge the head's first layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np

@@ -1,0 +1,32 @@
+"""A deliberately racy module: the PR-7 ShardRouter bug, distilled.
+
+``Router.pick`` reads ``self._backends`` *outside* ``self._lock`` while
+``add``/``remove`` mutate it under the lock from other threads -- the
+exact unguarded-read shape ``repro lint`` caught (and this PR fixed) in
+``repro.serve.remote.ShardRouter.execute``.  The lock-discipline test
+asserts the checker flags lines 27 and 32 and nothing else.
+"""
+
+import threading
+
+
+class Router:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._backends = {}  # guarded-by: self._lock
+
+    def add(self, url, backend):
+        with self._lock:
+            self._backends[url] = backend
+
+    def remove(self, url):
+        with self._lock:
+            self._backends.pop(url, None)
+
+    def pick(self, url):
+        return self._backends[url]  # RACY: no lock held
+
+    def describe(self):
+        with self._lock:
+            count = len(self._backends)
+        return f"{count} backends, first={min(self._backends, default=None)}"

@@ -15,7 +15,6 @@ Four contracts under test:
    internal callers are fully migrated to the engine path).
 """
 
-import inspect
 import json
 import warnings
 
@@ -490,50 +489,15 @@ class TestSpecRoundTrip:
 
 # ===================================================== one source of defaults
 class TestDefaultsUnified:
-    """No entry point overrides tol/node_limit/workers independently."""
+    """No entry point overrides tol/node_limit/workers independently.
 
-    #: (callable, {param -> VerifyConfig field}) for every legacy signature.
-    LOCAL = {"tol": "tol", "node_limit": "node_limit", "workers": "workers"}
-    GLOBAL = {"tol": "tol", "node_limit": "full_node_limit",
-              "workers": "workers"}
-
-    def _entry_points(self):
-        from repro.core import (check_prop1, check_prop2, check_prop4,
-                                check_prop5, incremental_fix,
-                                verify_from_scratch)
-        from repro.exact import (certify_threshold, check_containment,
-                                 maximize_output, minimize_output,
-                                 output_range_exact, prove_with_certificate)
-        from repro.exact.bab import BaBSolver
-
-        return [
-            (check_containment, self.LOCAL),
-            (output_range_exact, self.LOCAL),
-            (maximize_output, self.LOCAL),
-            (minimize_output, self.LOCAL),
-            (check_prop1, self.LOCAL),
-            (check_prop2, self.LOCAL),
-            (check_prop4, self.LOCAL),
-            (check_prop5, self.LOCAL),
-            (incremental_fix, self.LOCAL),
-            (BaBSolver.__init__, self.LOCAL),
-            (certify_threshold, self.GLOBAL),
-            (prove_with_certificate, self.GLOBAL),
-            (verify_from_scratch, self.GLOBAL),
-        ]
-
-    def test_signature_defaults_resolve_from_config(self):
-        reference = VerifyConfig()
-        for func, mapping in self._entry_points():
-            signature = inspect.signature(func)
-            for param, config_field in mapping.items():
-                if param not in signature.parameters:
-                    continue
-                default = signature.parameters[param].default
-                assert default is not inspect.Parameter.empty
-                assert default == getattr(reference, config_field), (
-                    f"{func.__qualname__} overrides {param!r} independently "
-                    f"of VerifyConfig.{config_field}")
+    The signature-level half of this gate is now *static*: the
+    ``no-restated-defaults`` rule of ``repro lint`` flags any knob-named
+    parameter or dataclass field restating a canonical default literal
+    (enforced tree-wide by ``tests/test_analysis.py`` and the CI lint
+    job).  What remains here is the runtime behaviour the linter cannot
+    see: that configs actually *fold* correctly through the verifiers.
+    """
 
     def test_continuous_verifier_resolves_from_config(self, setup):
         from repro.core.continuous import ContinuousVerifier
