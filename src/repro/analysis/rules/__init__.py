@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.certs import CertDisciplineRule
 from repro.analysis.rules.defaults import NoRestatedDefaultsRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.legacy import NoLegacyEntrypointsRule
@@ -21,6 +22,7 @@ from repro.analysis.rules.wire import WireDisciplineRule
 
 __all__ = [
     "ALL_RULES",
+    "CertDisciplineRule",
     "DeterminismRule",
     "Float64SoundnessRule",
     "LockDisciplineRule",
@@ -40,4 +42,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     Float64SoundnessRule(),
     NoSwallowedTaxonomyRule(),
     StoreDisciplineRule(),
+    CertDisciplineRule(),
 )

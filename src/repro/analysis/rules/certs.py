@@ -1,0 +1,153 @@
+"""``cert-discipline``: certificates persist through JobStore, travel as wire.
+
+PR 9's delta-verification certificates are *advisory* artifacts: a stale
+or adversarial payload may cost time but must never flip a verdict.  That
+guarantee rests on two conventions this rule enforces statically:
+
+* **One store.**  Certificate persistence happens through the ``JobStore``
+  certificate API (``cert_get``/``cert_put``) and nowhere else.  The
+  :mod:`repro.certs` package itself computes -- extraction, validation,
+  warm-start -- and never touches files or databases, so every stored
+  certificate passes through the store's schema, migrations, and lock.
+  Flagged inside ``repro.certs``: importing a persistence module
+  (``sqlite3``/``pickle``/``shelve``/``dbm``), calling ``open()``, or
+  writing via ``.write_text``/``.write_bytes``.
+
+* **Wire strings at the boundary.**  A certificate crosses a module
+  boundary only as a ``*_json`` wire string (``repro.api.serialize``
+  round-trips it), never as a live ``Certificate`` object -- the provider
+  protocol must keep working when the store sits behind a process or HTTP
+  boundary, and re-validation on parse is where the soundness screen
+  anchors.  Flagged everywhere: a ``def cert_put``/``def cert_get`` whose
+  payload parameters are not ``*_json``-named, and a ``.cert_put(...)``
+  call site whose payload argument is not wire-shaped (a ``*_json``
+  name/attribute/field lookup, a ``*_to_json``/``json.dumps`` call, or a
+  string constant).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["CertDisciplineRule"]
+
+#: Modules whose import inside ``repro.certs`` marks home-grown
+#: persistence -- the JobStore owns durability.
+_PERSISTENCE_MODULES = frozenset({"sqlite3", "pickle", "shelve", "dbm"})
+
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+#: cert_put's first parameter is the cache key; only payloads after it
+#: must be wire strings.  ``structural_fp`` is an indexed column of the
+#: key's fingerprint, not a payload.
+_NON_PAYLOAD_PARAMS = frozenset({"self", "cls", "cert_key", "key",
+                                 "structural_fp"})
+
+
+class CertDisciplineRule(Rule):
+    name = "cert-discipline"
+    description = ("certificates persist only via the JobStore API and "
+                   "cross module boundaries only as *_json wire strings")
+    scope = ("repro",)
+    exempt = ("repro.serve.store",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        in_certs = ctx.module == "repro.certs" \
+            or ctx.module.startswith("repro.certs.")
+        for node in ast.walk(ctx.tree):
+            if in_certs:
+                yield from self._check_persistence(ctx, node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name in ("cert_put", "cert_get"):
+                yield from self._check_definition(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    # ------------------------------------------------- persistence (certs)
+    def _check_persistence(self, ctx: ModuleContext,
+                           node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".", 1)[0] in _PERSISTENCE_MODULES:
+                    yield self.finding(
+                        ctx, node,
+                        f"{alias.name} imported inside repro.certs; "
+                        "certificate persistence belongs to the JobStore "
+                        "certificate API")
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".", 1)[0] in _PERSISTENCE_MODULES:
+                yield self.finding(
+                    ctx, node,
+                    f"{node.module} imported inside repro.certs; "
+                    "certificate persistence belongs to the JobStore "
+                    "certificate API")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                yield self.finding(
+                    ctx, node,
+                    "file I/O inside repro.certs; persist certificates "
+                    "through JobStore.cert_put instead")
+            elif isinstance(func, ast.Attribute) \
+                    and func.attr in _WRITE_METHODS:
+                yield self.finding(
+                    ctx, node,
+                    f".{func.attr}() inside repro.certs; persist "
+                    "certificates through JobStore.cert_put instead")
+
+    # ------------------------------------------------------------ def side
+    def _check_definition(self, ctx: ModuleContext,
+                          node: ast.AST) -> Iterator[Finding]:
+        args = node.args
+        params = [arg for arg in args.posonlyargs + args.args
+                  + args.kwonlyargs
+                  if arg.arg not in _NON_PAYLOAD_PARAMS]
+        for param in params:
+            if param.arg.endswith("_json"):
+                continue
+            yield self.finding(
+                ctx, param,
+                f"{node.name}() parameter {param.arg!r} is not "
+                "wire-shaped; the certificate provider protocol passes "
+                "*_json strings (plus the key)")
+
+    # ----------------------------------------------------------- call side
+    def _check_call(self, ctx: ModuleContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "cert_put":
+            return
+        payloads = list(node.args[1:]) + [
+            kw.value for kw in node.keywords
+            if kw.arg not in _NON_PAYLOAD_PARAMS]
+        for arg in payloads:
+            if not self._wire_shaped(arg):
+                yield self.finding(
+                    ctx, arg,
+                    "certificate payload passed to .cert_put() is not "
+                    f"wire-shaped ({ast.unparse(arg)}); serialize with "
+                    "certificate_to_json before it leaves the module")
+
+    @staticmethod
+    def _wire_shaped(arg: ast.expr) -> bool:
+        if isinstance(arg, ast.Constant):
+            return isinstance(arg.value, (str, type(None)))
+        if isinstance(arg, ast.Name):
+            return arg.id.endswith("_json")
+        if isinstance(arg, ast.Attribute):
+            return arg.attr.endswith("_json")
+        if isinstance(arg, ast.Call):
+            callee = arg.func
+            terminal = callee.attr if isinstance(callee, ast.Attribute) \
+                else callee.id if isinstance(callee, ast.Name) else ""
+            return terminal.endswith("to_json") or terminal == "dumps" \
+                or terminal.endswith("_json")
+        if isinstance(arg, ast.Subscript):
+            index = arg.slice
+            return isinstance(index, ast.Constant) \
+                and isinstance(index.value, str) \
+                and index.value.endswith("_json")
+        return False

@@ -35,6 +35,8 @@ _EXPORTS = {
     "VerifyConfig": "repro.api.config",
     "ServeConfig": "repro.api.config",
     "LegacyEntryPointWarning": "repro.api.config",
+    "DEFAULT_CERT_POLICY": "repro.api.config",
+    "CERT_POLICIES": "repro.api.config",
     # specs
     "Spec": "repro.api.specs",
     "ContainmentSpec": "repro.api.specs",
@@ -56,6 +58,9 @@ _EXPORTS = {
     "verdict_to_json": "repro.api.serialize",
     "verdict_from_json": "repro.api.serialize",
     "canonical_verdict_json": "repro.api.serialize",
+    "verdict_decision_json": "repro.api.serialize",
+    "certificate_to_json": "repro.api.serialize",
+    "certificate_from_json": "repro.api.serialize",
     # verdicts
     "Provenance": "repro.api.verdict",
     "Verdict": "repro.api.verdict",

@@ -38,7 +38,9 @@ __all__ = [
     "DEFAULT_INTERVAL_PRUNE",
     "DEFAULT_NODE_TIGHTEN",
     "DEFAULT_ENCODING_CACHE",
+    "DEFAULT_CERT_POLICY",
     "ENCODING_CACHE_POLICIES",
+    "CERT_POLICIES",
     "LegacyEntryPointWarning",
     "ServeConfig",
     "VerifyConfig",
@@ -72,8 +74,15 @@ DEFAULT_NODE_TIGHTEN = False
 #: fingerprint-keyed cache (PR 2); ``"private"`` builds a fresh encoding
 #: per solve, bypassing the cache (isolation for benchmarks/tests).
 DEFAULT_ENCODING_CACHE = "shared"
+#: Certificate policy: ``"off"`` ignores any certificate provider;
+#: ``"record"`` stores certificates after proved threshold solves;
+#: ``"reuse"`` additionally warm-starts from a stored certificate (and
+#: implies recording).  Reused bounds are always re-validated in float64
+#: before acceptance, so the policy can change cost but never a verdict.
+DEFAULT_CERT_POLICY = "off"
 
 ENCODING_CACHE_POLICIES = ("shared", "private")
+CERT_POLICIES = ("off", "record", "reuse")
 
 _METHODS = ("symbolic", "split", "exact", "auto")
 #: Mirrors repro.domains.propagate.PROPAGATORS (kept static so this module
@@ -128,6 +137,11 @@ class VerifyConfig:
     interval_prune: bool = DEFAULT_INTERVAL_PRUNE
     node_tighten: bool = DEFAULT_NODE_TIGHTEN
     encoding_cache: str = DEFAULT_ENCODING_CACHE
+    #: Certificate policy (``CERT_POLICIES``): whether proved threshold
+    #: solves record reusable certificates and whether verification may
+    #: warm-start from one.  Excluded from the certificate *key* so a
+    #: record-mode solve's artifact is found by a reuse-mode lookup.
+    certs: str = DEFAULT_CERT_POLICY
 
     def __post_init__(self):
         if not (self.tol > 0):
@@ -157,6 +171,10 @@ class VerifyConfig:
             raise ReproError(
                 f"unknown encoding-cache policy {self.encoding_cache!r}; "
                 f"choose from {ENCODING_CACHE_POLICIES}")
+        if self.certs not in CERT_POLICIES:
+            raise ReproError(
+                f"unknown certificate policy {self.certs!r}; "
+                f"choose from {CERT_POLICIES}")
 
     # ------------------------------------------------------------- derivation
     def replace(self, **overrides) -> "VerifyConfig":

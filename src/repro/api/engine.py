@@ -66,7 +66,8 @@ class _Run:
         self.started = time.perf_counter()
 
     def provenance(self, config: VerifyConfig, *, lp_solves: int = 0,
-                   nodes: int = 0, rounds: int = 0):
+                   nodes: int = 0, rounds: int = 0, nodes_reused: int = 0,
+                   lp_solves_saved: int = 0, cert_hit: bool = False):
         from repro.api.verdict import Provenance
 
         now = encoding_cache_stats()
@@ -77,14 +78,29 @@ class _Run:
             rounds=int(rounds),
             workers=config.workers,
             encoding_reuse={k: now[k] - self.snapshot.get(k, 0) for k in now},
+            nodes_reused=int(nodes_reused),
+            lp_solves_saved=int(lp_solves_saved),
+            cert_hit=bool(cert_hit),
         )
 
 
 class VerificationEngine:
-    """Executes Specs under one shared :class:`VerifyConfig`."""
+    """Executes Specs under one shared :class:`VerifyConfig`.
 
-    def __init__(self, config: Optional[VerifyConfig] = None):
+    ``certs`` is an optional certificate provider for delta verification
+    (:mod:`repro.certs`): any object with ``cert_get(key) -> str | None``
+    and ``cert_put(key, cert_json)`` speaking *wire strings* -- in
+    practice the serve-side :class:`~repro.serve.store.JobStore`.  The
+    config's :attr:`~repro.api.config.VerifyConfig.certs` policy decides
+    whether proved threshold solves record certificates and whether a
+    stored one may warm-start a solve; with no provider the policy is
+    inert and every solve runs from scratch.
+    """
+
+    def __init__(self, config: Optional[VerifyConfig] = None, *,
+                 certs=None):
         self.config = config or VerifyConfig()
+        self.certs = certs
 
     # ------------------------------------------------------------------ jobs
     def verify(self, spec: Spec, config: Optional[VerifyConfig] = None) -> Verdict:
@@ -234,9 +250,47 @@ class VerificationEngine:
         from repro.exact.incremental import _certify_threshold
 
         run = _Run()
-        result, certificate = _certify_threshold(
-            spec.network, spec.input_box, spec.objective, spec.threshold,
-            config=cfg)
+        result = certificate = None
+        cert_hit = False
+        key = None
+        lp_baseline = 0
+        if self.certs is not None and cfg.certs != "off":
+            from repro.certs import certificate_key
+
+            key = certificate_key(spec.network, spec.input_box,
+                                  spec.objective, spec.threshold, cfg)
+        if key is not None and cfg.certs == "reuse":
+            result, certificate, cert_hit, lp_baseline = \
+                self._reuse_certificate(spec, cfg, key)
+        if result is None:
+            # Capture node-LP duals only when a store could record them.
+            result, certificate = _certify_threshold(
+                spec.network, spec.input_box, spec.objective, spec.threshold,
+                config=cfg, collect_duals={} if key is not None else None)
+        if key is not None and certificate is not None and \
+                not (cert_hit and result.lp_solves == 0):
+            # Record (REPLACE) the *latest* proved network's covering
+            # frontier -- the closest warm-start baseline for the next
+            # perturbation.  Certificates cross this boundary only as
+            # wire strings (cert-discipline).  Skipped when a warm start
+            # settled every leaf LP-free: the frontier and multipliers are
+            # then exactly what the store already holds, so re-recording
+            # would be pure churn.
+            from repro.api.serialize import certificate_to_json
+            from repro.certs import extract_certificate
+
+            cert = extract_certificate(
+                spec.network, spec.input_box, spec.objective,
+                spec.threshold, result, certificate.leaves, config=cfg,
+                lp_baseline=max(lp_baseline, result.lp_solves),
+                duals=certificate.leaf_duals)
+            self.certs.cert_put(key, certificate_to_json(cert))
+        # Savings are measured against the certificate's recorded
+        # from-scratch baseline (carried forward across re-records); the
+        # solver's own counter (starts settled LP-free by the re-screen)
+        # is the floor when no baseline is available.
+        lp_saved = max(result.lp_solves_saved,
+                       lp_baseline - result.lp_solves if cert_hit else 0, 0)
         holds: Optional[bool] = None
         if certificate is not None:
             holds = True
@@ -246,11 +300,45 @@ class VerificationEngine:
             spec_type=spec.spec_type,
             holds=holds,
             provenance=run.provenance(cfg, lp_solves=result.lp_solves,
-                                      nodes=result.nodes, rounds=result.rounds),
+                                      nodes=result.nodes, rounds=result.rounds,
+                                      nodes_reused=result.nodes_reused,
+                                      lp_solves_saved=lp_saved,
+                                      cert_hit=cert_hit),
             detail=f"status={result.status} upper_bound={result.upper_bound:.6g}",
             result=result,
             certificate=certificate,
         )
+
+    def _reuse_certificate(self, spec: ThresholdSpec, cfg: VerifyConfig,
+                           key: str):
+        """Try one stored certificate: fetch, parse, validate, warm-start.
+
+        Returns ``(result, certificate, True, lp_baseline)`` on a usable
+        hit -- ``lp_baseline`` the stored from-scratch LP count savings
+        are measured against -- and ``(None, None, False, 0)`` otherwise:
+        a miss, a malformed payload, or a stale/incompatible artifact all
+        land on the same from-scratch fallback (a certificate may cost a
+        lookup, never a verdict).
+        """
+        cert_json = self.certs.cert_get(key)
+        if cert_json is None:
+            return None, None, False, 0
+        from repro.certs import (load_certificate, reverify_with_certificate,
+                                 validate_certificate)
+        from repro.errors import CertificateError
+
+        try:
+            stored = load_certificate(cert_json)
+            validate_certificate(stored, spec.network, spec.objective,
+                                 spec.threshold, cfg)
+        except CertificateError:
+            # Rejected (corrupt, stale fingerprint, non-covering leaves):
+            # the verdict must come from a from-scratch solve.
+            return None, None, False, 0
+        result, certificate = reverify_with_certificate(
+            spec.network, spec.input_box, spec.objective, spec.threshold,
+            stored, config=cfg)
+        return result, certificate, True, int(stored.lp_solves)
 
     def _verify_maximize(self, spec: MaximizeSpec,
                          cfg: VerifyConfig) -> MaximizeVerdict:
@@ -337,7 +425,8 @@ class VerificationEngine:
         from repro.core.problem import SVbTV, SVuDC
 
         run = _Run()
-        verifier = ContinuousVerifier(spec.artifacts, config=cfg)
+        verifier = ContinuousVerifier(spec.artifacts, config=cfg,
+                                      certs=self.certs)
         if spec.new_network is None:
             problem = SVuDC(spec.artifacts.problem, spec.enlarged_din)
             if spec.strategies is not None:
@@ -358,7 +447,11 @@ class VerificationEngine:
         return ContinuousVerdict(
             spec_type=spec.spec_type,
             holds=result.holds,
-            provenance=run.provenance(cfg, lp_solves=lp_solves),
+            provenance=run.provenance(
+                cfg, lp_solves=lp_solves,
+                nodes_reused=result.nodes_reused,
+                lp_solves_saved=result.lp_solves_saved,
+                cert_hit=result.nodes_reused > 0),
             detail=result.strategy,
             result=result,
         )

@@ -49,12 +49,15 @@ __all__ = [
     "artifacts_from_jsonable",
     "config_to_json",
     "config_from_json",
+    "certificate_to_json",
+    "certificate_from_json",
     "VERDICT_TAGS",
     "verdict_to_dict",
     "verdict_from_dict",
     "verdict_to_json",
     "verdict_from_json",
     "canonical_verdict_json",
+    "verdict_decision_json",
 ]
 
 
@@ -229,6 +232,103 @@ def config_from_json(text: str):
     return VerifyConfig.from_dict(data)
 
 
+# ------------------------------------------------------------- certificates
+def _phase_leaves_to_jsonable(leaves) -> list:
+    # PhaseMap items are sorted so one leaf set has one canonical byte
+    # form regardless of solver-side dict insertion order.
+    return [
+        [[int(layer), int(unit), int(phase)]
+         for (layer, unit), phase in sorted(leaf.items())]
+        for leaf in leaves
+    ]
+
+
+def _phase_leaves_from_jsonable(data) -> list:
+    return [{(int(layer), int(unit)): int(phase)
+             for layer, unit, phase in leaf}
+            for leaf in data]
+
+
+def _leaf_duals_to_jsonable(duals) -> list:
+    # Per leaf: [dual_ub, dual_eq] float lists, or None where the record
+    # solve had no usable multipliers (infeasible leaf, absent rows).
+    return [
+        None if entry is None else
+        [array_to_jsonable(np.asarray(part, dtype=np.float64))
+         for part in entry]
+        for entry in duals
+    ]
+
+
+def _leaf_duals_from_jsonable(data) -> list:
+    return [
+        None if entry is None else
+        tuple(array_from_jsonable(part) for part in entry)
+        for entry in data
+    ]
+
+
+def certificate_to_json(cert, **dumps_kwargs) -> str:
+    """Canonical wire form of a :class:`repro.certs.Certificate`.
+
+    ``sort_keys`` is forced: the serve-side store persists and compares
+    these strings, so one certificate value must map to one byte string.
+    This is the *only* form certificate payloads travel in between
+    modules (the ``cert-discipline`` lint rule holds callers to it).
+    """
+    data = {
+        "version": int(cert.version),
+        "objective": array_to_jsonable(cert.objective),
+        "threshold": float_to_jsonable(cert.threshold),
+        "leaves": _phase_leaves_to_jsonable(cert.leaves),
+        "leaf_bounds": [float_to_jsonable(b) for b in cert.leaf_bounds],
+        "leaf_verdicts": [str(v) for v in cert.leaf_verdicts],
+        "leaf_duals": _leaf_duals_to_jsonable(cert.leaf_duals),
+        "block_dims": [int(d) for d in cert.block_dims],
+        "structural_fp": str(cert.structural_fp),
+        "content_fp": str(cert.content_fp),
+        "config_digest": str(cert.config_digest),
+        "status": str(cert.status),
+        "upper_bound": float_to_jsonable(cert.upper_bound),
+        "lp_solves": int(cert.lp_solves),
+    }
+    dumps_kwargs.setdefault("sort_keys", True)
+    return json.dumps(data, allow_nan=False, **dumps_kwargs)
+
+
+def certificate_from_json(text: str):
+    """Inverse of :func:`certificate_to_json`.
+
+    Raises :class:`SerializationError` on structural garbage; numeric
+    fields parse strictly.  Callers replaying *untrusted* store content
+    should go through :func:`repro.certs.load_certificate`, which funnels
+    every malformation into one rejection path.
+    """
+    from repro.certs.certificate import Certificate
+
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"a certificate document must be a JSON object, got "
+            f"{type(data).__name__}")
+    return Certificate(
+        objective=array_from_jsonable(data["objective"]),
+        threshold=float(data["threshold"]),
+        leaves=_phase_leaves_from_jsonable(data["leaves"]),
+        leaf_bounds=[float(b) for b in data.get("leaf_bounds", [])],
+        leaf_verdicts=[str(v) for v in data.get("leaf_verdicts", [])],
+        leaf_duals=_leaf_duals_from_jsonable(data.get("leaf_duals", [])),
+        block_dims=[int(d) for d in data["block_dims"]],
+        structural_fp=str(data["structural_fp"]),
+        content_fp=str(data.get("content_fp", "")),
+        config_digest=str(data["config_digest"]),
+        status=str(data.get("status", "")),
+        upper_bound=float(data.get("upper_bound", 0.0)),
+        lp_solves=int(data.get("lp_solves", 0)),
+        version=int(data["version"]),
+    )
+
+
 # ----------------------------------------------------------------- verdicts
 #: Wire tag <-> Verdict class name (classes resolved lazily; the verdict
 #: module sits above the solver layers this module must not eagerly pull).
@@ -254,6 +354,9 @@ def _provenance_to_jsonable(prov) -> Dict:
         "encoding_reuse": {str(k): int(v)
                            for k, v in prov.encoding_reuse.items()},
         "cached": bool(prov.cached),
+        "nodes_reused": int(prov.nodes_reused),
+        "lp_solves_saved": int(prov.lp_solves_saved),
+        "cert_hit": bool(prov.cert_hit),
     }
 
 
@@ -269,6 +372,10 @@ def _provenance_from_jsonable(data: Dict):
         encoding_reuse={str(k): int(v)
                         for k, v in data.get("encoding_reuse", {}).items()},
         cached=bool(data.get("cached", False)),
+        # .get defaults: pre-certificate wire documents lack these keys.
+        nodes_reused=int(data.get("nodes_reused", 0)),
+        lp_solves_saved=int(data.get("lp_solves_saved", 0)),
+        cert_hit=bool(data.get("cert_hit", False)),
     )
 
 
@@ -292,6 +399,8 @@ def _bab_result_to_jsonable(result) -> Dict:
         "max_batch": int(result.max_batch),
         "mean_batch": float_to_jsonable(result.mean_batch),
         "workers": int(result.workers),
+        "nodes_reused": int(result.nodes_reused),
+        "lp_solves_saved": int(result.lp_solves_saved),
     }
 
 
@@ -309,6 +418,8 @@ def _bab_result_from_jsonable(data: Dict):
         max_batch=int(data.get("max_batch", 0)),
         mean_batch=float(data.get("mean_batch", 0.0)),
         workers=int(data.get("workers", 1)),
+        nodes_reused=int(data.get("nodes_reused", 0)),
+        lp_solves_saved=int(data.get("lp_solves_saved", 0)),
     )
 
 
@@ -341,16 +452,10 @@ def _containment_result_from_jsonable(data: Dict):
 
 
 def _certificate_to_jsonable(cert) -> Dict:
-    # PhaseMap items are sorted so one certificate value has one canonical
-    # byte form regardless of solver-side dict insertion order.
     return {
         "objective": array_to_jsonable(cert.objective),
         "threshold": float_to_jsonable(cert.threshold),
-        "leaves": [
-            [[int(layer), int(unit), int(phase)]
-             for (layer, unit), phase in sorted(leaf.items())]
-            for leaf in cert.leaves
-        ],
+        "leaves": _phase_leaves_to_jsonable(cert.leaves),
         "block_dims": [int(d) for d in cert.block_dims],
     }
 
@@ -361,9 +466,7 @@ def _certificate_from_jsonable(data: Dict):
     return BranchCertificate(
         objective=array_from_jsonable(data["objective"]),
         threshold=float(data["threshold"]),
-        leaves=[{(int(layer), int(unit)): int(phase)
-                 for layer, unit, phase in leaf}
-                for leaf in data["leaves"]],
+        leaves=_phase_leaves_from_jsonable(data["leaves"]),
         block_dims=[int(d) for d in data["block_dims"]],
     )
 
@@ -457,6 +560,8 @@ def _continuous_result_to_jsonable(result) -> Dict:
         "winning_time": float_to_jsonable(result.winning_time),
         "encoding_reuse": {str(k): int(v)
                            for k, v in result.encoding_reuse.items()},
+        "nodes_reused": int(result.nodes_reused),
+        "lp_solves_saved": int(result.lp_solves_saved),
     }
 
 
@@ -475,6 +580,8 @@ def _continuous_result_from_jsonable(data: Dict):
         winning_time=float(data.get("winning_time", 0.0)),
         encoding_reuse={str(k): int(v)
                         for k, v in data.get("encoding_reuse", {}).items()},
+        nodes_reused=int(data.get("nodes_reused", 0)),
+        lp_solves_saved=int(data.get("lp_solves_saved", 0)),
     )
 
 
@@ -618,9 +725,11 @@ def verdict_from_json(text: str):
 
 #: Keys that describe *how long / how cached* a particular run was, not
 #: what the answer is; stripped recursively by the canonical form.
+#: ``nodes_reused``/``lp_solves_saved`` are warm-start economics embedded
+#: in result payloads -- bookkeeping of one run, like ``elapsed``.
 _RUN_BOOKKEEPING_KEYS = frozenset({
     "provenance", "elapsed", "winning_time", "winning_max_subproblem_time",
-    "original_time", "encoding_reuse",
+    "original_time", "encoding_reuse", "nodes_reused", "lp_solves_saved",
 })
 
 
@@ -645,3 +754,33 @@ def canonical_verdict_json(verdict) -> str:
     """
     return json.dumps(_strip_bookkeeping(verdict_to_dict(verdict)),
                       allow_nan=False, sort_keys=True)
+
+
+def verdict_decision_json(verdict) -> str:
+    """The *decision* of a verdict as one canonical byte string.
+
+    Even the canonical form keeps the full result payload -- LP counts,
+    search-derived bounds, witnesses -- which are properties of one search
+    *trajectory*.  A warm-started delta verification re-proves the same
+    property along a different trajectory (that is the point), so its
+    soundness gate compares decisions: what was asked, what was answered,
+    and how the solver terminated.  Everything else is cost, not answer.
+    """
+    data = verdict_to_dict(verdict)
+    decision = {
+        "verdict": data["verdict"],
+        "spec_type": data["spec_type"],
+        "holds": data["holds"],
+    }
+    result = data.get("result")
+    if isinstance(result, dict) and "status" in result:
+        status = result["status"]
+        if data["holds"] is True and status in ("optimal",
+                                                "threshold_proved"):
+            # Both statuses certify the same decision (bound at or below
+            # the threshold); which one a search lands on depends on
+            # whether the optimality gap or the threshold prune closes
+            # first -- trajectory, not answer.
+            status = "proved"
+        decision["status"] = status
+    return json.dumps(decision, allow_nan=False, sort_keys=True)

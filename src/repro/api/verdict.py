@@ -59,6 +59,17 @@ class Provenance:
     #: serving layer of :mod:`repro.serve`) instead of being solved anew.
     #: ``elapsed``/``lp_solves`` then describe the *original* solve.
     cached: bool = False
+    #: Stored-certificate leaves adopted as warm starts by this run
+    #: (:mod:`repro.certs`); zero for cold solves.
+    nodes_reused: int = 0
+    #: LP solves this run avoided versus the certificate's recorded
+    #: from-scratch baseline (or, when no baseline is stored, the number
+    #: of warm starts the batched float64 re-screen settled without an
+    #: LP) -- the delta-verification win this run actually banked.
+    lp_solves_saved: int = 0
+    #: ``True`` when a stored certificate was found, validated, and used
+    #: to warm-start this run (its bounds re-checked, never trusted).
+    cert_hit: bool = False
 
 
 @dataclass

@@ -154,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(repro.api.verdict_to_json): the form "
                                   "remote executors ship back and "
                                   "verdict_from_json reconstructs")
+    verify_spec.add_argument("--certs", default=None, metavar="PATH",
+                             help="certificate store path (a repro serve "
+                                  "job db): proved threshold solves are "
+                                  "recorded there, and later runs against "
+                                  "weight-perturbed networks warm-start "
+                                  "from the stored frontier (implies "
+                                  "certs policy 'reuse' unless the "
+                                  "bundled config says otherwise)")
     _add_engine_args(verify_spec, full=True)
 
     serve = sub.add_parser(
@@ -173,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--service-workers", type=int, default=2,
                        help="concurrent jobs (default 2); --workers "
                             "below remains the per-solve pool width")
+    serve.add_argument("--certs", action="store_true",
+                       help="enable the certificate store (policy "
+                            "'reuse'): proved threshold jobs record "
+                            "their covering frontier in the job db, and "
+                            "re-verifying a weight-perturbed network "
+                            "warm-starts from it")
     resilience = serve.add_argument_group("resilience options")
     resilience.add_argument(
         "--failover", action="store_true",
@@ -450,7 +464,19 @@ def _cmd_verify_spec(args) -> int:
     # (including --no-node-tighten / --frontier-width 0 resets).
     config = _config_from_args(args, base=config)
     spec = spec_from_dict(spec_doc)
-    verdict = VerificationEngine(config).verify(spec)
+    certs = None
+    if args.certs:
+        from repro.serve.store import JobStore
+
+        certs = JobStore(args.certs)
+        if config.certs == "off":
+            # --certs without an explicit policy means "use it".
+            config = config.replace(certs="reuse")
+    try:
+        verdict = VerificationEngine(config, certs=certs).verify(spec)
+    finally:
+        if certs is not None:
+            certs.close()
     # A RangeVerdict, or a MaximizeVerdict with no threshold that ran to
     # optimality, is a *value* query: holds is None by design and the
     # computed value is the success.
@@ -473,6 +499,10 @@ def _cmd_verify_spec(args) -> int:
             "workers": verdict.provenance.workers,
             "encoding_reuse": verdict.provenance.encoding_reuse,
         }
+        if verdict.provenance.cert_hit or verdict.provenance.nodes_reused:
+            record["cert_hit"] = verdict.provenance.cert_hit
+            record["nodes_reused"] = verdict.provenance.nodes_reused
+            record["lp_solves_saved"] = verdict.provenance.lp_solves_saved
         if isinstance(verdict, RangeVerdict):
             record["output_range"] = {
                 "lower": verdict.output_range.lower.tolist(),
@@ -555,6 +585,10 @@ def _cmd_serve(args) -> int:
                   "(a URL list needs --coordinator)", file=sys.stderr)
             return 2
     config = _config_from_args(args)
+    if args.certs and config.certs == "off":
+        # The certificates live in the job db (--db); the flag only turns
+        # the policy on for jobs that do not bundle their own config.
+        config = config.replace(certs="reuse")
     serve_config = ServeConfig().with_overrides(
         retry_attempts=args.retry_attempts,
         breaker_threshold=args.breaker_threshold,
@@ -604,6 +638,8 @@ def _cmd_serve(args) -> int:
                    f"seed={args.fault_seed}")
     if serve_config.queue_limit is not None:
         extras += f", queue_limit={serve_config.queue_limit}"
+    if config.certs != "off":
+        extras += f", certs={config.certs}"
     if args.coordinator:
         extras += (f", reroute={serve_config.reroute_policy}, "
                    f"ttl={serve_config.worker_ttl:g}s")

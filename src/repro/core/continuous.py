@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import ArtifactError
 from repro.api.config import VerifyConfig
 from repro.domains.box import Box
@@ -68,6 +70,12 @@ class ContinuousResult:
     #: The counters are process-wide, so attribute the delta to this run
     #: only when verifier runs do not overlap in time.
     encoding_reuse: Dict[str, int] = field(default_factory=dict)
+    #: Warm-start economics of the exact legs (:mod:`repro.certs`): leaves
+    #: seeded from a stored certificate frontier and the LP solves the
+    #: batched re-screen rendered unnecessary.  Zero unless the verifier
+    #: was handed a certificate provider and the config enables reuse.
+    nodes_reused: int = 0
+    lp_solves_saved: int = 0
 
     def speedup_vs(self, original_time: float, parallel: bool = True) -> float:
         """Table I ratio: incremental time / original time (in percent)."""
@@ -84,8 +92,16 @@ class ContinuousVerifier:
                  method: Optional[str] = None, domain: Optional[str] = None,
                  node_limit: Optional[int] = None,
                  workers: Optional[int] = None,
-                 config: Optional[VerifyConfig] = None):
+                 config: Optional[VerifyConfig] = None,
+                 certs=None):
         self.artifacts = artifacts
+        #: Optional certificate provider (``cert_get``/``cert_put`` of JSON
+        #: wire strings, :mod:`repro.certs`).  When set and the config's
+        #: ``certs`` policy is not ``"off"``, the full re-verification
+        #: fallback runs through the engine's certificate-aware threshold
+        #: path, so repeated fallbacks across fine-tuning steps warm-start
+        #: from the stored frontier instead of re-searching.
+        self.certs = certs
         #: One :class:`VerifyConfig` drives every exact leg of the cascade
         #: (the engine path).  The loose keywords remain as per-knob
         #: overrides for compatibility; their defaults live in the config.
@@ -305,14 +321,21 @@ class ContinuousVerifier:
 
     def _fallback_full(self, network: Network, din: Box, started: float,
                        attempts: List[PropositionResult]) -> ContinuousResult:
-        res = _check_containment(
-            network, din, self.artifacts.problem.dout, method="exact",
-            config=self.config.replace(
-                node_limit=self.config.effective_full_node_limit))
+        nodes_reused = lp_solves_saved = 0
+        if self.certs is not None and self.config.certs != "off":
+            res, nodes_reused, lp_solves_saved = \
+                self._full_with_certificates(network, din)
+            detail = "full re-verification (certificate warm start)"
+        else:
+            res = _check_containment(
+                network, din, self.artifacts.problem.dout, method="exact",
+                config=self.config.replace(
+                    node_limit=self.config.effective_full_node_limit))
+            detail = "no reuse possible"
         report = SubproblemReport.from_containment("full re-verification", res)
         fallback = PropositionResult(
             proposition="full", holds=res.holds, subproblems=[report],
-            elapsed=res.elapsed, detail="no reuse possible",
+            elapsed=res.elapsed, detail=detail,
         )
         attempts.append(fallback)
         return ContinuousResult(
@@ -322,4 +345,58 @@ class ContinuousVerifier:
             elapsed=time.perf_counter() - started,
             winning_max_subproblem_time=res.elapsed,
             winning_time=res.elapsed,
+            nodes_reused=nodes_reused,
+            lp_solves_saved=lp_solves_saved,
         )
+
+    def _full_with_certificates(self, network: Network, din: Box):
+        """Full re-verification through the certificate-aware engine path.
+
+        Output containment decomposes into one threshold proof per output
+        bound (``max e_i f <= hi_i`` and ``max -e_i f <= -lo_i``); each is
+        a :class:`~repro.api.specs.ThresholdSpec`, so the engine records a
+        certificate on first fallback and warm-starts every later fallback
+        whose network kept its structural fingerprint (weight-only
+        fine-tuning).  Returns ``(ContainmentResult, nodes_reused,
+        lp_solves_saved)`` summed over the bound proofs.
+        """
+        from repro.api.engine import VerificationEngine
+        from repro.api.specs import ThresholdSpec
+        from repro.exact.verify import ContainmentResult
+
+        cfg = self.config.replace(
+            node_limit=self.config.effective_full_node_limit)
+        engine = VerificationEngine(cfg, certs=self.certs)
+        dout = self.artifacts.problem.dout
+        t0 = time.perf_counter()
+        reused = saved = lp_total = node_total = 0
+        holds: Optional[bool] = True
+        counterexample = None
+        violation = 0.0
+        checks = []
+        dim = dout.lower.size
+        for i in range(dim):
+            unit = np.zeros(dim)
+            unit[i] = 1.0
+            checks.append((unit, float(dout.upper[i])))
+            checks.append((-unit, -float(dout.lower[i])))
+        for c, threshold in checks:
+            verdict = engine.verify(ThresholdSpec(
+                network=network, input_box=din, objective=c,
+                threshold=threshold))
+            lp_total += verdict.result.lp_solves
+            node_total += verdict.result.nodes
+            reused += verdict.provenance.nodes_reused
+            saved += verdict.provenance.lp_solves_saved
+            if verdict.holds is not True:
+                holds = verdict.holds
+                if verdict.holds is False:
+                    counterexample = verdict.result.witness
+                    violation = float(verdict.result.incumbent - threshold)
+                break
+        res = ContainmentResult(
+            holds=holds, method="exact", counterexample=counterexample,
+            violation=violation, elapsed=time.perf_counter() - t0,
+            lp_solves=lp_total, nodes=node_total,
+            detail="certificate-warmed full re-verification")
+        return res, reused, saved

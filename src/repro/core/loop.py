@@ -43,6 +43,11 @@ class LoopStep:
     elapsed: float
     reverified: bool = False       # did this step pay a from-scratch run?
     detail: str = ""
+    #: Certificate warm-start economics of this step's exact legs
+    #: (:mod:`repro.certs`): frontier leaves seeded from a stored
+    #: certificate and LP solves the batched re-screen made unnecessary.
+    nodes_reused: int = 0
+    lp_solves_saved: int = 0
 
 
 @dataclass
@@ -62,6 +67,11 @@ class EngineeringLoop:
     node_limit: Optional[int] = None
     #: Engine configuration for every exact leg.
     config: Optional[VerifyConfig] = None
+    #: Optional certificate provider (``cert_get``/``cert_put`` of JSON
+    #: wire strings) handed to every :class:`ContinuousVerifier`; with a
+    #: ``certs="record"``/``"reuse"`` config policy the full-fallback legs
+    #: persist and warm-start from stored frontiers across iterations.
+    certs: Optional[object] = None
 
     artifacts: Optional[ProofArtifacts] = None
     history: List[LoopStep] = field(default_factory=list)
@@ -100,7 +110,8 @@ class EngineeringLoop:
     def _verifier(self) -> ContinuousVerifier:
         if self.artifacts is None:
             raise RuntimeError("call initial_verification() first")
-        return ContinuousVerifier(self.artifacts, config=self._config())
+        return ContinuousVerifier(self.artifacts, config=self._config(),
+                                  certs=self.certs)
 
     def _refresh(self, problem: VerificationProblem) -> ProofArtifacts:
         outcome = _verify_from_scratch(
@@ -131,7 +142,9 @@ class EngineeringLoop:
         step = LoopStep(kind="domain", holds=result.holds,
                         strategy=result.strategy,
                         elapsed=time.perf_counter() - started,
-                        reverified=reverified, detail=result.strategy)
+                        reverified=reverified, detail=result.strategy,
+                        nodes_reused=result.nodes_reused,
+                        lp_solves_saved=result.lp_solves_saved)
         self.history.append(step)
         return step
 
@@ -160,7 +173,9 @@ class EngineeringLoop:
         step = LoopStep(kind="version", holds=result.holds,
                         strategy=result.strategy,
                         elapsed=time.perf_counter() - started,
-                        reverified=reverified, detail=result.strategy)
+                        reverified=reverified, detail=result.strategy,
+                        nodes_reused=result.nodes_reused,
+                        lp_solves_saved=result.lp_solves_saved)
         self.history.append(step)
         return step
 
@@ -170,9 +185,16 @@ class EngineeringLoop:
         for i, step in enumerate(self.history):
             verdict = {True: "safe", False: "NOT PROVED", None: "unknown"}[step.holds]
             flag = " (re-verified)" if step.reverified else ""
+            if step.nodes_reused or step.lp_solves_saved:
+                flag += (f" [reused {step.nodes_reused} nodes, "
+                         f"saved {step.lp_solves_saved} LPs]")
             lines.append(f"  {i:>2} {step.kind:>8}: {verdict:<10} via "
                          f"{step.strategy:<24} {step.elapsed * 1e3:9.2f} ms{flag}")
         cheap = sum(1 for s in self.history if not s.reverified)
         lines.append(f"  {cheap}/{len(self.history)} steps settled by proof "
                      "reuse alone")
+        saved = sum(s.lp_solves_saved for s in self.history)
+        if saved:
+            lines.append(f"  certificate reuse saved {saved} LP solves "
+                         "across the loop")
         return "\n".join(lines)

@@ -72,6 +72,7 @@ __all__ = [
     "output_box_batch",
     "phase_clamped_node_bounds",
     "phase_clamped_objective_bounds",
+    "phase_clamped_affine_bounds",
     "screen_containments",
 ]
 
@@ -593,6 +594,82 @@ def phase_clamped_objective_bounds(
     upper, feasible, _, __ = phase_clamped_node_bounds(
         network, input_box, phase_maps, c)
     return upper, feasible
+
+
+def phase_clamped_affine_bounds(
+        network: Network, input_box: Box, phase_maps: Sequence[Dict],
+        c: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray], List[np.ndarray]]:
+    """Backward affine (CROWN-style) upper bounds over N phase-constrained
+    regions -- the near-LP-tight screen certificate reuse warm-starts on.
+
+    Same contract as :func:`phase_clamped_node_bounds` (whose forward pass
+    supplies feasibility and the per-block pre-activation intervals), but
+    the objective bound comes from one batched *backward* pass: starting
+    from ``A = c`` at the output, each activation is replaced per-unit by a
+    sound linear enclosure of ``y = max(z, slope * z)`` over its clamped
+    pre-activation interval -- exact for stable or phase-fixed units, the
+    chord/line relaxation for unstable ones, chosen per the sign of the
+    accumulated coefficient -- and each dense layer folds in exactly.  The
+    result concretises against the input box in closed form, so a frontier
+    of leaves the solver settled at *LP*-bound depth (where plain intervals
+    still read "open" -- the dependency problem) re-screens to "proved"
+    without a single LP.  Returned uppers are the elementwise minimum of
+    the interval and affine bounds; both are sound, so the minimum is.
+    """
+    upper_iv, feasible, pre_lo, pre_hi = phase_clamped_node_bounds(
+        network, input_box, phase_maps, c)
+    n = len(phase_maps)
+    if n == 0:
+        return upper_iv, feasible, pre_lo, pre_hi
+    c_vec = np.asarray(c, dtype=np.float64).reshape(-1)
+    blocks = list(network.blocks())
+
+    # A row j holds the coefficients of a sound upper bound
+    # ``A[j] @ (post-activation of block k) + bias[j]`` on c @ f(x); the
+    # backward pass rewrites it block by block until it is affine in x.
+    a_mat = np.tile(c_vec, (n, 1))
+    bias = np.zeros(n)
+    for k in range(len(blocks) - 1, -1, -1):
+        block = blocks[k]
+        act = block.activation
+        if act is not None:
+            slope = _block_slope(act)
+            lo_k, hi_k = pre_lo[k], pre_hi[k]
+            # Per-unit enclosure of y = max(z, slope*z) on [lo, hi]:
+            # stable-active (lo >= 0, includes phase-fixed +1): y = z exact;
+            # stable-inactive (hi <= 0, includes phase-fixed -1): y = slope*z
+            # exact; unstable: upper chord through the endpoints, lower line
+            # through the origin (the steeper of the two exact pieces).
+            up_w = np.ones_like(lo_k)
+            up_b = np.zeros_like(lo_k)
+            low_w = np.ones_like(lo_k)
+            inactive = hi_k <= 0.0
+            up_w = np.where(inactive, slope, up_w)
+            low_w = np.where(inactive, slope, low_w)
+            unstable = (lo_k < 0.0) & (hi_k > 0.0)
+            denom = np.where(unstable, hi_k - lo_k, 1.0)
+            chord_w = (hi_k - slope * lo_k) / denom
+            chord_b = hi_k * (1.0 - chord_w)
+            up_w = np.where(unstable, chord_w, up_w)
+            up_b = np.where(unstable, chord_b, up_b)
+            low_w = np.where(
+                unstable, np.where(hi_k >= -lo_k, 1.0, slope), low_w)
+            # Upper-bounding A @ y: positive coefficients take the upper
+            # relaxation, negative ones the lower (both have zero intercept
+            # except the chord).
+            pos = a_mat >= 0.0
+            bias += np.sum(np.where(pos, a_mat * up_b, 0.0), axis=1)
+            a_mat = a_mat * np.where(pos, up_w, low_w)
+        w, b = block.dense.weight, block.dense.bias
+        bias += a_mat @ b
+        a_mat = a_mat @ w
+    center = 0.5 * (input_box.lower + input_box.upper)
+    radius = 0.5 * (input_box.upper - input_box.lower)
+    upper_aff = a_mat @ center + np.abs(a_mat) @ radius + bias
+    upper = np.minimum(upper_iv, upper_aff)
+    upper[~feasible] = -np.inf
+    return upper, feasible, pre_lo, pre_hi
 
 
 def screen_containments(

@@ -42,6 +42,13 @@ class ArtifactError(ReproError):
     """Proof artifacts are missing, inconsistent, or do not match a network."""
 
 
+class CertificateError(ArtifactError):
+    """A stored verification certificate is malformed, stale, or does not
+    match the problem it was offered for.  Never fatal to verification:
+    callers reject the certificate and fall back to a from-scratch solve,
+    so a bad certificate can cost time but can never flip a verdict."""
+
+
 class MonitorError(ReproError):
     """The runtime monitor was used before calibration or with bad data."""
 

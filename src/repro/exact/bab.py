@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,12 @@ class BaBResult:
     how many synchronous rounds ran, and the largest / average number of
     node LPs solved concurrently per round.  ``workers`` is the pool
     width the solve was configured with.
+
+    ``nodes_reused`` / ``lp_solves_saved`` report warm-start economics
+    (both zero for cold solves): how many caller-supplied ``initial_nodes``
+    the search adopted, and how many of those the batched float64
+    re-screen settled without building their LP.  They are run
+    bookkeeping, not part of the verdict value.
     """
 
     status: str
@@ -74,6 +80,8 @@ class BaBResult:
     max_batch: int = 0
     mean_batch: float = 0.0
     workers: int = DEFAULT_WORKERS
+    nodes_reused: int = 0
+    lp_solves_saved: int = 0
 
     @property
     def optimum(self) -> float:
@@ -163,7 +171,9 @@ class BaBSolver:
     def maximize(self, c: np.ndarray,
                  threshold: Optional[float] = None,
                  initial_nodes: Optional[List[PhaseMap]] = None,
-                 collect_leaves: Optional[List[PhaseMap]] = None) -> BaBResult:
+                 collect_leaves: Optional[List[PhaseMap]] = None,
+                 start_screen: Optional[Callable] = None,
+                 collect_duals: Optional[dict] = None) -> BaBResult:
         """Maximise ``c @ f(x)`` over the input box.
 
         With ``threshold`` set, stops early once ``max <= threshold`` is
@@ -190,6 +200,22 @@ class BaBSolver:
         additionally hands each surviving node its clamped pre-activation
         bounds, installed as ``z``-variable bounds in the node's LP delta.
 
+        ``start_screen`` optionally replaces the batched screen for the
+        *initial-nodes batch only* (signature and return contract of
+        :meth:`_screen_nodes`): certificate reuse passes the dual-bound
+        screen of :func:`repro.certs.reuse.dual_start_screen` here, which
+        settles warm starts far below the interval screen's reach.
+        Branching children always use the stock screen, so a custom
+        screen never changes a cold search.
+
+        ``collect_duals`` (a caller-owned dict) receives the optimal dual
+        multipliers ``(dual_ub, dual_eq)`` of every node LP this search
+        solves, keyed by the node's canonical phase-map items.  Free for
+        the solver (HiGHS computes marginals anyway) and never consulted
+        by the search itself; certificate recording stores them so future
+        re-verifications can re-certify each leaf with one LP-free
+        Lagrangian evaluation (:mod:`repro.certs.reuse`).
+
         With ``workers > 1`` (or ``frontier=True``) the search runs as the
         parallel frontier algorithm of :mod:`repro.exact.parallel_bab`:
         same soundness guarantees, per-round batched screening and
@@ -200,7 +226,9 @@ class BaBSolver:
 
             return maximize_frontier(self, c, threshold=threshold,
                                      initial_nodes=initial_nodes,
-                                     collect_leaves=collect_leaves)
+                                     collect_leaves=collect_leaves,
+                                     start_screen=start_screen,
+                                     collect_duals=collect_duals)
         enc = self.encoding
         tol = self.tol
         objective = enc.output_objective(np.asarray(c, dtype=np.float64))
@@ -230,9 +258,15 @@ class BaBSolver:
             lp_solves += 1
             system = enc.build_lp(phases, form=self.lp_form,
                                   tight_pre=tight_pre)
-            return solve_lp(neg_obj, system.a_ub, system.b_ub,
-                            system.a_eq, system.b_eq, system.bounds,
-                            label=f"node {lp_solves}")
+            res = solve_lp(neg_obj, system.a_ub, system.b_ub,
+                           system.a_eq, system.b_eq, system.bounds,
+                           label=f"node {lp_solves}",
+                           want_duals=collect_duals is not None)
+            if collect_duals is not None and res.optimal:
+                collect_duals[tuple(sorted(phases.items()))] = (
+                    res.dual_ub if res.dual_ub is not None else np.zeros(0),
+                    res.dual_eq if res.dual_eq is not None else np.zeros(0))
+            return res
 
         def register_feasible(x_input: np.ndarray) -> None:
             nonlocal incumbent, witness
@@ -244,27 +278,38 @@ class BaBSolver:
         # Max-heap on node upper bounds (negate for heapq).
         heap: List[Tuple[float, int, PhaseMap, np.ndarray]] = []
 
+        # Warm-start economics: how many caller-supplied starts we adopted,
+        # and how many of those the float64 re-screen settled LP-free.
+        nodes_reused = len(initial_nodes) if initial_nodes else 0
+        lp_solves_saved = 0
+
         def finish(status: str, bound: float) -> BaBResult:
             # Whatever remains open is part of the covering certificate.
             for _, __, phases, ___ in heap:
                 record_leaf(phases)
             return BaBResult(status, max(bound, screened_bound), incumbent,
-                             witness, nodes, lp_solves)
+                             witness, nodes, lp_solves,
+                             nodes_reused=nodes_reused,
+                             lp_solves_saved=lp_solves_saved)
 
         starts: List[PhaseMap] = (
             [dict(p) for p in initial_nodes] if initial_nodes else [{}]
         )
         start_ubs = start_feasible = start_tights = None
         if use_screen:
-            start_ubs, start_feasible, start_tights = screen_nodes(starts)
+            start_ubs, start_feasible, start_tights = \
+                (start_screen or screen_nodes)(starts)
             if self.interval_prune and threshold is not None and \
                     np.all(start_ubs <= threshold + tol):
-                # The covering regions all close on intervals alone: proved
-                # without a single LP.
+                # The covering regions all close on the screen alone:
+                # proved without a single LP.
                 for start in starts:
                     record_leaf(start)
+                lp_solves_saved = nodes_reused
                 return BaBResult(BAB_PROVED, float(start_ubs.max()), incumbent,
-                                 witness, nodes, lp_solves)
+                                 witness, nodes, lp_solves,
+                                 nodes_reused=nodes_reused,
+                                 lp_solves_saved=lp_solves_saved)
         any_feasible = False
         for j, start in enumerate(starts):
             ub_est = float(start_ubs[j]) if self.interval_prune else None
@@ -274,6 +319,8 @@ class BaBSolver:
             if verdict != "open":
                 if verdict == "proved":  # region closed below the threshold
                     screened_bound = max(screened_bound, ub_est)
+                if initial_nodes:
+                    lp_solves_saved += 1
                 record_leaf(start)  # empty / dominated by an earlier start
                 continue
             res = solve_node(start,
@@ -292,7 +339,9 @@ class BaBSolver:
                 # regions cover the rest below the threshold.
                 return finish(BAB_PROVED, screened_bound)
             return BaBResult(BAB_INFEASIBLE, -np.inf, -np.inf, None,
-                             len(starts), lp_solves)
+                             len(starts), lp_solves,
+                             nodes_reused=nodes_reused,
+                             lp_solves_saved=lp_solves_saved)
 
         while heap:
             neg_bound, _, phases, x_lp = heapq.heappop(heap)
@@ -364,7 +413,9 @@ class BaBSolver:
 
         status, bound = self._terminal_status(incumbent, screened_bound,
                                               threshold)
-        return BaBResult(status, bound, incumbent, witness, nodes, lp_solves)
+        return BaBResult(status, bound, incumbent, witness, nodes, lp_solves,
+                         nodes_reused=nodes_reused,
+                         lp_solves_saved=lp_solves_saved)
 
     # ------------------------------------------------- shared search pieces
     def _terminal_status(self, incumbent: float, screened_bound: float,
@@ -471,6 +522,8 @@ class BaBSolver:
             max_batch=res.max_batch,
             mean_batch=res.mean_batch,
             workers=res.workers,
+            nodes_reused=res.nodes_reused,
+            lp_solves_saved=res.lp_solves_saved,
         )
 
 

@@ -61,6 +61,11 @@ class BranchCertificate:
     threshold: float
     leaves: List[PhaseMap] = field(default_factory=list)
     block_dims: List[int] = field(default_factory=list)
+    #: Optimal node-LP dual multipliers captured during the proving solve,
+    #: keyed by canonical phase-map items -- advisory bookkeeping for
+    #: certificate recording (:mod:`repro.certs`), never consulted when
+    #: re-proving from the leaves alone.
+    leaf_duals: Optional[dict] = None
 
     @property
     def num_leaves(self) -> int:
@@ -73,7 +78,8 @@ class BranchCertificate:
 def _certify_threshold(network: Network, input_box: Box, c: np.ndarray,
                        threshold: float,
                        encoding: Optional[NetworkEncoding] = None,
-                       config: Optional[VerifyConfig] = None) -> tuple:
+                       config: Optional[VerifyConfig] = None,
+                       collect_duals: Optional[dict] = None) -> tuple:
     """Internal threshold certification (no deprecation): the engine path.
 
     Returns ``(BaBResult, BranchCertificate | None)`` -- the certificate is
@@ -83,6 +89,10 @@ def _certify_threshold(network: Network, input_box: Box, c: np.ndarray,
     objectives over one ``(network, box)`` pair builds the LP base exactly
     once.  ``config.workers > 1`` runs the parallel frontier search; its
     settled leaves form exactly the same kind of covering certificate.
+    ``collect_duals`` (a caller-owned dict) additionally captures each
+    node LP's optimal dual multipliers and rides back on the returned
+    certificate's ``leaf_duals`` -- the raw material certificate
+    recording (:mod:`repro.certs`) persists.
     """
     config = config or VerifyConfig()
     # Certificates are global proofs: run under the full budget.
@@ -92,7 +102,8 @@ def _certify_threshold(network: Network, input_box: Box, c: np.ndarray,
         encoding=encoding)
     leaves: List[PhaseMap] = []
     result = solver.maximize(np.asarray(c, dtype=np.float64),
-                             threshold=threshold, collect_leaves=leaves)
+                             threshold=threshold, collect_leaves=leaves,
+                             collect_duals=collect_duals)
     if result.status not in ("threshold_proved", "optimal") or \
             result.upper_bound > threshold + config.tol:
         return result, None
@@ -101,6 +112,7 @@ def _certify_threshold(network: Network, input_box: Box, c: np.ndarray,
         threshold=float(threshold),
         leaves=leaves,
         block_dims=network.block_dims(),
+        leaf_duals=collect_duals,
     )
     return result, certificate
 

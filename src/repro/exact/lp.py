@@ -53,11 +53,16 @@ class LPResult:
     """Outcome of one LP solve.
 
     ``value`` and ``x`` are only meaningful when ``status == LP_OPTIMAL``.
+    ``dual_ub`` / ``dual_eq`` are the optimal row multipliers (sign
+    convention: ``lambda >= 0`` for the ``<=`` rows of a minimisation),
+    populated only when the solve was asked for them.
     """
 
     status: str
     value: float
     x: Optional[np.ndarray]
+    dual_ub: Optional[np.ndarray] = None
+    dual_eq: Optional[np.ndarray] = None
 
     @property
     def optimal(self) -> bool:
@@ -71,6 +76,7 @@ def solve_lp(c: np.ndarray,
              b_eq: Optional[np.ndarray] = None,
              bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
              label: str = "",
+             want_duals: bool = False,
              ) -> LPResult:
     """Minimise ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``
     and variable ``bounds`` (default: free variables).
@@ -82,6 +88,11 @@ def solve_lp(c: np.ndarray,
     silently built on.  ``label`` names the solve in that error (essential
     when many node LPs run concurrently and one fails: the exception must
     say *which* region's relaxation broke).
+
+    ``want_duals`` additionally extracts the optimal row multipliers into
+    ``LPResult.dual_ub`` / ``dual_eq`` -- no extra solver work, HiGHS
+    computes them anyway; off by default so the hot node-LP path carries
+    nothing it does not use.
 
     Thread-safety: ``linprog``/HiGHS holds no module state and releases the
     GIL inside the solve, so concurrent calls from the shared worker pool
@@ -105,7 +116,18 @@ def solve_lp(c: np.ndarray,
             f"linprog failed{where}: status={res.status} "
             f"message={res.message!r}")
     if status == LP_OPTIMAL:
-        return LPResult(status=status, value=float(res.fun), x=np.asarray(res.x))
+        dual_ub = dual_eq = None
+        if want_duals:
+            # HiGHS marginals are d(fun)/d(rhs); for a minimisation over
+            # ``A_ub x <= b_ub`` that is ``-lambda``, so negate to get the
+            # conventional nonnegative multipliers (certificate reuse
+            # evaluates them as a Lagrangian bound -- repro.certs.reuse).
+            if a_ub is not None:
+                dual_ub = -np.asarray(res.ineqlin.marginals, dtype=np.float64)
+            if a_eq is not None:
+                dual_eq = -np.asarray(res.eqlin.marginals, dtype=np.float64)
+        return LPResult(status=status, value=float(res.fun),
+                        x=np.asarray(res.x), dual_ub=dual_ub, dual_eq=dual_eq)
     return LPResult(status=status, value=float("nan"), x=None)
 
 

@@ -92,6 +92,8 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
                       threshold: Optional[float] = None,
                       initial_nodes: Optional[List[PhaseMap]] = None,
                       collect_leaves: Optional[List[PhaseMap]] = None,
+                      start_screen=None,
+                      collect_duals: Optional[dict] = None,
                       ) -> BaBResult:
     """Frontier-parallel ``max c @ f(x)`` with :class:`BaBSolver` semantics.
 
@@ -137,6 +139,15 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
         if collect_leaves is not None:
             collect_leaves.append(dict(phases))
 
+    def capture_duals(phases: PhaseMap, res: LPResult) -> None:
+        # Called on the coordinating thread only (results are folded in
+        # submission order after each batch), so the caller's dict needs
+        # no locking.
+        if collect_duals is not None and res.optimal:
+            collect_duals[tuple(sorted(phases.items()))] = (
+                res.dual_ub if res.dual_ub is not None else np.zeros(0),
+                res.dual_eq if res.dual_eq is not None else np.zeros(0))
+
     def node_thunk(phases: PhaseMap, tight_pre, label: str
                    ) -> Callable[[], LPResult]:
         """One worker task: compose base + delta, solve.  Reads the shared
@@ -146,7 +157,8 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
                                   tight_pre=tight_pre)
             return solve_lp(neg_obj, system.a_ub, system.b_ub,
                             system.a_eq, system.b_eq, system.bounds,
-                            label=label)
+                            label=label,
+                            want_duals=collect_duals is not None)
         return thunk
 
     def solve_batch(items: List[Tuple[PhaseMap, object]],
@@ -184,6 +196,11 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
     # Max-heap on node upper bounds (negate for heapq).
     heap: List[Tuple[float, int, PhaseMap, np.ndarray]] = []
 
+    # Warm-start economics: starts adopted from the caller, and how many
+    # of them the batched float64 re-screen settled without an LP.
+    nodes_reused = len(initial_nodes) if initial_nodes else 0
+    lp_solves_saved = 0
+
     def result(status: str, bound: float) -> BaBResult:
         return BaBResult(
             status, max(bound, screened_bound), incumbent, witness,
@@ -191,6 +208,8 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
             max_batch=max(batches, default=0),
             mean_batch=float(np.mean(batches)) if batches else 0.0,
             workers=workers,
+            nodes_reused=nodes_reused,
+            lp_solves_saved=lp_solves_saved,
         )
 
     def finish(status: str, bound: float) -> BaBResult:
@@ -205,11 +224,16 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
     )
     start_ubs = start_feasible = start_tights = None
     if use_screen:
-        start_ubs, start_feasible, start_tights = screen_nodes(starts)
+        # A caller-supplied screen (certificate reuse's dual-bound screen)
+        # applies to the warm-start batch only; branching children below
+        # always go through the stock batched screen.
+        start_ubs, start_feasible, start_tights = \
+            (start_screen or screen_nodes)(starts)
         if solver.interval_prune and threshold is not None and \
                 np.all(start_ubs <= threshold + tol):
             for start in starts:
                 record_leaf(start)
+            lp_solves_saved = nodes_reused
             return result(BAB_PROVED, float(start_ubs.max()))
     surviving: List[Tuple[PhaseMap, object]] = []
     for j, start in enumerate(starts):
@@ -224,6 +248,8 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
         if verdict != "open":
             if verdict == "proved":  # region closed below the threshold
                 screened_bound = max(screened_bound, ub_est)
+            if initial_nodes:
+                lp_solves_saved += 1
             record_leaf(start)  # phase constraints emptied the region
             continue
         surviving.append((start, start_tights[j] if start_tights else None))
@@ -237,6 +263,7 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
             if res.status != LP_OPTIMAL:
                 raise SolverError(f"start LP ended with status {res.status}")
             any_feasible = True
+            capture_duals(start, res)
             register_feasible(res.x[enc.input_slice])
             heapq.heappush(heap, (res.value, next(counter), start, res.x))
     if not any_feasible:
@@ -322,6 +349,7 @@ def maximize_frontier(solver: BaBSolver, c: np.ndarray,
                 # silently settle as a leaf.
                 raise SolverError(f"child LP ended with status {res.status}")
             child_bound = -res.value
+            capture_duals(child, res)
             register_feasible(res.x[enc.input_slice])
             if child_bound <= incumbent + tol:
                 record_leaf(child)

@@ -37,9 +37,19 @@ __all__ = ["InProcessExecutor", "SubprocessExecutor", "make_executor"]
 
 
 class InProcessExecutor:
-    """Run jobs on the engine inside the calling (worker) thread."""
+    """Run jobs on the engine inside the calling (worker) thread.
+
+    ``certs`` (settable, default ``None``) is handed to the engine as its
+    certificate provider -- any object with ``cert_get(key)`` /
+    ``cert_put(key, cert_json)``, in practice the scheduler's own
+    :class:`~repro.serve.store.JobStore`.  Only meaningful when the job
+    config's ``certs`` policy is not ``"off"``.
+    """
 
     name = "inprocess"
+
+    def __init__(self, certs=None):
+        self.certs = certs
 
     def execute(self, spec_json: str, config_json: str,
                 timeout: Optional[float] = None) -> Dict:
@@ -50,7 +60,7 @@ class InProcessExecutor:
         spec = spec_from_json(spec_json)
         config = config_from_json(config_json)
         started = time.monotonic()
-        verdict = VerificationEngine(config).verify(spec)
+        verdict = VerificationEngine(config, certs=self.certs).verify(spec)
         if timeout is not None and time.monotonic() - started > timeout:
             # In-process work cannot be preempted; enforce the budget by
             # discarding the late result (never cached, job fails).
@@ -68,6 +78,10 @@ class SubprocessExecutor:
     group, then -- after ``kill_grace`` seconds -- SIGKILL.  Without the
     group kill, a wedged HiGHS solve forked below the child would survive
     as an orphan eating a core forever.
+
+    Certificate reuse does not cross the process boundary: the ``certs``
+    policy travels in the config wire form, but the child has no provider
+    handle, so it solves from scratch (sound, just never warm-started).
     """
 
     name = "subprocess"

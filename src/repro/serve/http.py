@@ -17,9 +17,11 @@ GET    ``/jobs/{id}``      one job record (verdict included when done,
 GET    ``/jobs``           all records (``?state=queued`` filters;
                            verdicts elided for brevity)
 DELETE ``/jobs/{id}``      cancel; 200 + resulting state
-GET    ``/healthz``        liveness + queue counts + breaker states
-                           (+ per-shard liveness in coordinator mode)
-GET    ``/stats``          full scheduler/store/cache/resilience stats
+GET    ``/healthz``        liveness + queue counts + breaker states +
+                           certificate-store counters (+ per-shard
+                           liveness in coordinator mode)
+GET    ``/stats``          full scheduler/store/cache/certificate/
+                           resilience stats
 POST   ``/workers``        register/heartbeat a worker shard
                            (coordinator mode; body ``{"url": ...}``)
 GET    ``/workers``        the shard registry (coordinator mode)
@@ -170,6 +172,7 @@ class _Handler(BaseHTTPRequestHandler):
                     for link in executor_stats.get("chain", [])
                 },
                 "jobs": stats["jobs"],
+                "certificates": stats["certificates"],
             }
             if "ring" in executor_stats:  # coordinator: per-shard state
                 payload["ring"] = executor_stats["ring"]

@@ -34,6 +34,19 @@ Fault tolerance (PR 6), driven by one :class:`~repro.api.config
 * a client deadline travels submit -> store -> executor: expired jobs are
   failed at claim time instead of started, and the executor's timeout is
   clipped to the remaining deadline so work never outlives its use.
+
+Certificate reuse (PR 9): when the service default config's ``certs``
+policy is not ``"off"``, in-process executor links are handed the
+service's own :class:`JobStore` as their certificate provider (wrapped in
+:class:`_CertProvider` for hit/miss/stored counters).  A proved threshold
+job records its covering frontier under its weight-tolerant certificate
+key; re-verifying a perturbed network finds it and warm-starts.  Two
+invariants guard the store's existing guarantees: a warm-started verdict
+is **never** written to the verdict cache (its provenance depends on
+store state, while the cache promises that matching job fingerprints
+yield identical verdict documents), and the verdict *decision* is
+re-derived in full by the solver either way, so cert state can never
+change an answer.
 """
 
 from __future__ import annotations
@@ -98,9 +111,11 @@ class VerificationService:
             self.store = JobStore(
                 store,
                 max_attempts=max(3, self.serve_config.retry_attempts))
-        self.executor = self._build_executor(executor)
         self.workers = int(workers)
         self.default_config = default_config or VerifyConfig()
+        # Built after default_config: executor links pick up the cert
+        # provider when the service-level policy enables reuse.
+        self.executor = self._build_executor(executor)
         self.poll_interval = float(poll_interval)
         self._stop = threading.Event()
         self._wake = threading.Event()
@@ -114,6 +129,10 @@ class VerificationService:
         self.retries = 0              # guarded-by: self._stats_lock
         self.rejected_jobs = 0        # guarded-by: self._stats_lock
         self.parked_unavailable = 0   # guarded-by: self._stats_lock
+        self.cert_hits = 0            # guarded-by: self._stats_lock
+        self.cert_misses = 0          # guarded-by: self._stats_lock
+        self.cert_stored = 0          # guarded-by: self._stats_lock
+        self.cert_reused = 0          # guarded-by: self._stats_lock
         # guarded-by: self._stats_lock
         self.failures_by_type: Dict[str, int] = {}
 
@@ -136,7 +155,16 @@ class VerificationService:
 
                 return SubprocessExecutor(
                     kill_grace=self.serve_config.kill_grace)
-            return make_executor(spec)
+            link = make_executor(spec)
+            # In-process links get the service's own store as their
+            # certificate provider (subprocess children have no handle
+            # into this process and simply solve cold -- sound either
+            # way).  Gated on the *service* policy: per-job configs can
+            # tighten to "off" but cannot conjure a provider.
+            if self.default_config.certs != "off" and \
+                    getattr(link, "certs", "absent") is None:
+                link.certs = _CertProvider(self)
+            return link
 
         return SupervisedExecutor(
             [_link(link) for link in links],
@@ -357,6 +385,14 @@ class VerificationService:
                 "parked_unavailable": self.parked_unavailable,
                 "failures_by_type": dict(self.failures_by_type),
             }
+            certificates = {
+                "policy": self.default_config.certs,
+                "hits": self.cert_hits,
+                "misses": self.cert_misses,
+                "stored": self.cert_stored,
+                "reused": self.cert_reused,
+            }
+        certificates["store"] = self.store.cert_stats()
         resilience["retry_policy"] = {
             "max_attempts": self.retry_policy.max_attempts,
             "base_delay": self.retry_policy.base_delay,
@@ -372,6 +408,7 @@ class VerificationService:
             "cache_hits": cache_hits,
             "worker_errors": worker_errors,
             "verdict_cache": self.store.cache_stats(),
+            "certificates": certificates,
             "recovered_jobs": self.store.recovered_jobs,
             "workers": self.workers,
             "executor": self.executor.name,
@@ -494,7 +531,19 @@ class VerificationService:
                 terminal = True
                 return
             self.store.finish(job_id, verdict_json)
-            self.store.cache_put(record.fingerprint, verdict_json)
+            provenance = verdict_dict.get("provenance") or {}
+            if provenance.get("cert_hit"):
+                # A warm-started verdict's provenance (cert_hit, reuse
+                # counters, lp_solves) depends on what the certificate
+                # store happened to contain, while the verdict cache
+                # promises that one fingerprint maps to one verdict
+                # document.  The job is answered; only the cache write is
+                # skipped -- the next identical submission re-solves (and
+                # warm-starts again).
+                with self._stats_lock:
+                    self.cert_reused += 1
+            else:
+                self.store.cache_put(record.fingerprint, verdict_json)
             terminal = True
         finally:
             # Drop any cancel flag once the job is terminal.  A job
@@ -541,6 +590,30 @@ class VerificationService:
         self.store.fail(job_id, f"{error_type}: {exc}{suffix}",
                         error_type=error_type)
         return True
+
+
+class _CertProvider:
+    """The engine-facing certificate provider for in-process executor
+    links: the service's own :class:`~repro.serve.store.JobStore`,
+    instrumented with the scheduler's hit/miss/stored counters.  Speaks
+    wire strings only (``cert_json`` in and out), per cert-discipline."""
+
+    def __init__(self, service: VerificationService):
+        self._service = service
+
+    def cert_get(self, cert_key: str):
+        cert_json = self._service.store.cert_get(cert_key)
+        with self._service._stats_lock:
+            if cert_json is None:
+                self._service.cert_misses += 1
+            else:
+                self._service.cert_hits += 1
+        return cert_json
+
+    def cert_put(self, cert_key: str, cert_json: str) -> None:
+        self._service.store.cert_put(cert_key, cert_json)
+        with self._service._stats_lock:
+            self._service.cert_stored += 1
 
 
 def _mark_cached(verdict_json: str) -> str:

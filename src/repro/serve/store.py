@@ -31,6 +31,16 @@ an identical request is answered from the cache without touching a
 solver.  Only ``done`` verdicts are ever cached -- failures, timeouts and
 cancellations never poison it.
 
+The certificate store (PR 9) is a third table keyed by the
+*weight-tolerant* certificate key of :func:`repro.certs.certificate_key`
+(structural network fingerprint + spec + config): a proved threshold
+solve records its covering frontier here, and a later re-verification of
+a perturbed network warm-starts from it.  Unlike the verdict cache,
+entries are ``INSERT OR REPLACE`` -- the latest proved version's frontier
+is the best warm start for the next one -- and a hit is *advisory*, not
+an answer: the engine re-validates every certificate in float64 before
+use, so stale entries cost time, never correctness.
+
 The store is thread-safe (one connection, one lock) and deliberately
 speaks *strings* (the wire forms), not Spec/Verdict objects, so the
 scheduler can hand jobs to out-of-process executors without the store
@@ -111,6 +121,14 @@ CREATE TABLE IF NOT EXISTS attempts (
     shard        TEXT,
     PRIMARY KEY (job_id, attempt)
 );
+CREATE TABLE IF NOT EXISTS certificates (
+    cert_key      TEXT PRIMARY KEY,
+    cert_json     TEXT NOT NULL,
+    structural_fp TEXT,
+    created_at    REAL NOT NULL,
+    updated_at    REAL NOT NULL,
+    hits          INTEGER NOT NULL DEFAULT 0
+);
 """
 
 #: Columns added after PR 5; a pre-resilience ``--db`` is upgraded in
@@ -127,6 +145,13 @@ _JOBS_MIGRATIONS = {
 _ATTEMPTS_MIGRATIONS = {
     "shard": "ALTER TABLE attempts ADD COLUMN shard TEXT",
 }
+
+#: In-place upgrades for the certificates table.  The table itself is
+#: created by ``_SCHEMA`` on databases that predate it (CREATE IF NOT
+#: EXISTS); this dict exists so future columns follow the same
+#: ALTER-in-individually pattern as jobs/attempts, and so crash recovery
+#: on an old ``--db`` can never drop recorded certificates.
+_CERTIFICATES_MIGRATIONS: Dict[str, str] = {}
 
 
 #: Salt mixed into every job fingerprint.  The verdict cache can outlive
@@ -270,8 +295,10 @@ class JobStore:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         with self._lock:
             self._conn.executescript(_SCHEMA)
-            for table, migrations in (("jobs", _JOBS_MIGRATIONS),
-                                      ("attempts", _ATTEMPTS_MIGRATIONS)):
+            for table, migrations in (
+                    ("jobs", _JOBS_MIGRATIONS),
+                    ("attempts", _ATTEMPTS_MIGRATIONS),
+                    ("certificates", _CERTIFICATES_MIGRATIONS)):
                 existing = {row[1] for row in self._conn.execute(
                     f"PRAGMA table_info({table})")}
                 for column, statement in migrations.items():
@@ -568,4 +595,50 @@ class JobStore:
             row = self._conn.execute(
                 "SELECT COUNT(*), COALESCE(SUM(hits), 0) "
                 "FROM verdict_cache").fetchone()
+        return {"entries": int(row[0]), "hits": int(row[1])}
+
+    # --------------------------------------------------- certificate store
+    def cert_get(self, cert_key: str) -> Optional[str]:
+        """The stored certificate wire string for a key (bumping the hit
+        counter), or ``None``.  The payload is *advisory*: callers must
+        re-validate it against the network at hand before any reuse."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT cert_json FROM certificates WHERE cert_key = ?",
+                (cert_key,)).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE certificates SET hits = hits + 1 "
+                "WHERE cert_key = ?", (cert_key,))
+            self._conn.commit()
+        return row[0]
+
+    def cert_put(self, cert_key: str, cert_json: str,
+                 structural_fp: Optional[str] = None) -> None:
+        """Record a proved solve's certificate.  ``INSERT OR REPLACE``
+        (unlike the verdict cache's first-writer-wins): the latest proved
+        network version's frontier is the warm-start baseline for the
+        next one."""
+        now = time.time()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT created_at FROM certificates WHERE cert_key = ?",
+                (cert_key,)).fetchone()
+            created_at = row[0] if row is not None else now
+            self._conn.execute(
+                "INSERT OR REPLACE INTO certificates (cert_key, cert_json, "
+                "structural_fp, created_at, updated_at, hits) "
+                "VALUES (?, ?, ?, ?, ?, "
+                "COALESCE((SELECT hits FROM certificates "
+                "WHERE cert_key = ?), 0))",
+                (cert_key, cert_json, structural_fp, created_at, now,
+                 cert_key))
+            self._conn.commit()
+
+    def cert_stats(self) -> Dict[str, int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(hits), 0) "
+                "FROM certificates").fetchone()
         return {"entries": int(row[0]), "hits": int(row[1])}

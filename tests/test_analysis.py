@@ -261,6 +261,31 @@ CASES = [
             return conn.execute("SELECT 1").fetchone()  # repro: disable=store-discipline
         """,
     ),
+    (
+        "cert-discipline", "repro.certs.fixture",
+        """
+        import pickle
+
+        def record(store, key, cert):
+            store.cert_put(key, cert)
+        """,
+        """
+        from repro.api.serialize import certificate_to_json
+
+        def record(store, key, cert):
+            store.cert_put(key, certificate_to_json(cert))
+
+        def fetch(store, key):
+            cert_json = store.cert_get(key)
+            return cert_json
+        """,
+        """
+        import pickle  # repro: disable=cert-discipline
+
+        def record(store, key, cert):
+            store.cert_put(key, cert)  # repro: disable=cert-discipline
+        """,
+    ),
 ]
 
 

@@ -11,12 +11,14 @@ import pytest
 from repro.api import (
     ContainmentSpec,
     MaximizeSpec,
+    ThresholdSpec,
     VerificationEngine,
     VerifyConfig,
     canonical_verdict_json,
     config_to_json,
     spec_to_dict,
     spec_to_json,
+    verdict_decision_json,
     verdict_from_dict,
 )
 from repro.cli import main as cli_main
@@ -760,3 +762,141 @@ class TestServeCLI:
         assert cli_main(["verify-spec", "-", "--wire"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["verdict"] == "maximize"
+
+
+# The serve-side schema as it stood before the certificates table (and the
+# resilience columns), verbatim: what a long-lived ``--db`` from an old
+# deployment actually contains when new code opens it.
+_PRE_CERT_SCHEMA = """
+CREATE TABLE jobs (
+    seq          INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id       TEXT UNIQUE NOT NULL,
+    fingerprint  TEXT NOT NULL,
+    spec_json    TEXT NOT NULL,
+    config_json  TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    timeout      REAL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    verdict_json TEXT,
+    error        TEXT,
+    cache_hit    INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE verdict_cache (
+    fingerprint  TEXT PRIMARY KEY,
+    verdict_json TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    hits         INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE attempts (
+    job_id       TEXT NOT NULL,
+    attempt      INTEGER NOT NULL,
+    started_at   REAL,
+    finished_at  REAL NOT NULL,
+    outcome      TEXT NOT NULL,
+    transient    INTEGER NOT NULL DEFAULT 0,
+    error        TEXT,
+    PRIMARY KEY (job_id, attempt)
+);
+"""
+
+
+class TestCertificateStore:
+    """PR 9: the certificates table rides the JobStore migration path."""
+
+    def test_old_db_gains_certificates_table(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "old.db")
+        conn = sqlite3.connect(path)
+        conn.executescript(_PRE_CERT_SCHEMA)
+        conn.commit()
+        conn.close()
+        with JobStore(path) as store:
+            assert store.cert_get("missing") is None
+            store.cert_put("k1", '{"cert": 1}', structural_fp="fp")
+            assert store.cert_get("k1") == '{"cert": 1}'
+            assert store.cert_stats() == {"entries": 1, "hits": 1}
+
+    def test_crash_recovery_keeps_certificates(self, tmp_path,
+                                               maximize_spec):
+        path = str(tmp_path / "jobs.sqlite")
+        store = JobStore(path)
+        _queue_job(store, maximize_spec)
+        store.claim_next()
+        store.cert_put("k1", '{"cert": 1}')
+        store.close()  # crash with the job mid-running
+
+        with JobStore(path) as reopened:
+            assert reopened.recovered_jobs == 1
+            assert reopened.cert_get("k1") == '{"cert": 1}'
+            assert reopened.cert_stats()["entries"] == 1
+
+    def test_put_replaces_latest_and_hits_accumulate(self):
+        with JobStore() as store:
+            store.cert_put("k", '{"v": 1}')
+            assert store.cert_get("k") == '{"v": 1}'
+            store.cert_put("k", '{"v": 2}')
+            assert store.cert_get("k") == '{"v": 2}'
+            assert store.cert_stats() == {"entries": 1, "hits": 2}
+
+
+class TestCertificatesOverHTTP:
+    """End-to-end: cert hit/miss/stored/reused counters over the wire."""
+
+    @pytest.fixture
+    def server(self):
+        service = VerificationService(
+            workers=2,
+            default_config=VerifyConfig(certs="reuse")).start()
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_stats_and_healthz_count_cert_traffic(self, server, fig2):
+        client = ServeClient(server.url)
+        box = Box(-np.ones(2), np.ones(2))
+        c = np.array([1.0])
+        cfg = VerifyConfig(certs="reuse")
+        opt = VerificationEngine(VerifyConfig()).verify(
+            MaximizeSpec(network=fig2, input_box=box,
+                         objective=c)).result.upper_bound
+        spec = ThresholdSpec(network=fig2, input_box=box, objective=c,
+                             threshold=opt + 1.0)
+        job = client.submit(spec, config=cfg)
+        client.wait(job["job_id"], timeout=30)
+        stats = client.stats()
+        certs = stats["certificates"]
+        assert certs["policy"] == "reuse"
+        assert certs["misses"] >= 1
+        assert certs["stored"] >= 1
+        assert certs["store"]["entries"] == 1
+
+        perturbed = fig2.perturb(0.002, rng=np.random.default_rng(3))
+        warm_spec = ThresholdSpec(network=perturbed, input_box=box,
+                                  objective=c, threshold=opt + 1.0)
+        job2 = client.submit(warm_spec, config=cfg)
+        record = client.wait(job2["job_id"], timeout=30)
+        assert record["state"] == JOB_DONE
+        warm = client.verdict(job2["job_id"])
+        cold = VerificationEngine(VerifyConfig()).verify(warm_spec)
+        assert verdict_decision_json(warm) == verdict_decision_json(cold)
+        assert warm.provenance.cert_hit is True
+
+        stats = client.stats()
+        assert stats["certificates"]["hits"] >= 1
+        assert stats["certificates"]["reused"] >= 1
+        # Warm-started verdicts stay out of the verdict cache: their
+        # provenance depends on certificate state, not request identity.
+        assert stats["verdict_cache"]["entries"] == 1
+        health = client.health()
+        assert health["certificates"]["policy"] == "reuse"
